@@ -1,0 +1,34 @@
+# TECO reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments loc
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every paper table/figure (plus the extension experiments) as
+# markdown on stdout.
+experiments:
+	$(GO) run ./cmd/tecosim -markdown all
+	$(GO) run ./cmd/tecosim -markdown tune-act
+	$(GO) run ./cmd/tecosim -markdown ablation-dpu
+	$(GO) run ./cmd/tecosim -markdown time-to-loss
+	$(GO) run ./cmd/tecosim -markdown linkspeed
+
+loc:
+	find . -name '*.go' | xargs wc -l | tail -1

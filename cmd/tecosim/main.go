@@ -1,0 +1,53 @@
+// Command tecosim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tecosim [-seed N] [-markdown] <experiment>
+//	tecosim -list
+//
+// where <experiment> is one of the ids printed by -list (e.g. table1,
+// fig11, lammps) or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teco/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed for the real-training experiments")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of aligned text")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tabs, err := experiments.ByID(flag.Arg(0), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, t := range tabs {
+		if *markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+}

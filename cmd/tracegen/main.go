@@ -1,0 +1,114 @@
+// Command tracegen generates and replays timed parameter-writeback traces —
+// the paper's gem5-trace + process.py workflow (§VIII-A).
+//
+// Generate a trace of the CPU ADAM pass for a model:
+//
+//	tracegen -model Bert-large-cased -out bert.trace
+//
+// Replay it through the CXL emulator (optionally with DBA):
+//
+//	tracegen -replay bert.trace [-dba]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teco/internal/cpusim"
+	"teco/internal/cxl"
+	"teco/internal/dba"
+	"teco/internal/mem"
+	"teco/internal/modelzoo"
+	"teco/internal/sim"
+	"teco/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "Bert-large-cased", "model name (Table III)")
+	out := flag.String("out", "", "write the generated trace to this file (default stdout)")
+	replay := flag.String("replay", "", "replay a trace file over the CXL link instead of generating")
+	useDBA := flag.Bool("dba", false, "replay with dirty-byte aggregation (32-byte payloads)")
+	maxLines := flag.Int("max-lines", 4096, "cap trace records per layer chunk (0 = every cache line)")
+	hierarchy := flag.Bool("hierarchy", false, "generate via the gem5-style cache-hierarchy simulation instead of the analytic schedule (exact per-line writebacks; use -params to bound the size)")
+	nParams := flag.Int64("params", 1<<20, "parameter count for -hierarchy mode")
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		payload := mem.LineSize
+		var extra sim.Time
+		if *useDBA {
+			payload = dba.WordsPerLine * dba.DefaultDirtyBytes
+			extra = dba.ModelledLatency
+		}
+		link := cxl.NewLink(sim.New(), modelzoo.CXLLinkBandwidth(), cxl.DefaultQueueCap)
+		res := trace.ReplayOverCXL(tr, link, payload, extra)
+		fmt.Printf("replayed %d lines (%d payload bytes)\n", res.Lines, res.Bytes)
+		fmt.Printf("finish: %v, drain tail after producer: %v, queue stall: %v\n",
+			res.Finish, res.ExposedAfter, res.Stall)
+		return
+	}
+
+	if *hierarchy {
+		h := cpusim.NewHierarchySim()
+		amap, regions := cpusim.LayoutAdam(*nParams)
+		tr := h.RunAdamPass(amap, regions, *nParams)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.Write(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hierarchy pass over %d params: %d writebacks, CPU time %v\n",
+			*nParams, tr.Len(), h.Now())
+		return
+	}
+
+	m, ok := modelzoo.ByName(*model)
+	if !ok {
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	cpu := cpusim.Xeon6120()
+	chunks := cpu.UpdateSchedule(m)
+	ready := make([]sim.Time, len(chunks))
+	sizes := make([]int64, len(chunks))
+	for i, c := range chunks {
+		ready[i], sizes[i] = c.ReadyAt, c.Bytes
+	}
+	tr := trace.FromUpdateChunks(0, ready, sizes, 0, *maxLines)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records for %s (%d layers, ADAM pass %v)\n",
+		tr.Len(), m.Name, m.Layers, cpu.AdamTime(m.Params))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

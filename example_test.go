@@ -1,0 +1,57 @@
+package teco_test
+
+import (
+	"fmt"
+
+	"teco"
+)
+
+// Classify a parameter update the way Figure 2 does.
+func ExampleClassifyChange() {
+	old := float32(1.0)
+	tiny := float32(1.0000001) // mantissa-only drift
+	flipped := float32(-1.0)   // sign change
+	fmt.Println(teco.ClassifyChange(old, old))
+	fmt.Println(teco.ClassifyChange(old, tiny))
+	fmt.Println(teco.ClassifyChange(old, flipped))
+	// Output:
+	// unchanged
+	// last-byte
+	// other
+}
+
+// Simulate the headline comparison on Bert-large-cased at batch 4.
+func ExampleSimulate() {
+	m, _ := teco.ModelByName("Bert-large-cased")
+	base := teco.Simulate(teco.ZeroOffload, m, 4, teco.SimConfig{})
+	red := teco.Simulate(teco.TECOReduction, m, 4, teco.SimConfig{})
+	fmt.Printf("TECO-Reduction speedup: %.2fx\n", red.Speedup(base))
+	fmt.Printf("DBA halves parameter volume: %v\n", red.ParamLinkBytes*2 == base.ParamLinkBytes)
+	// Output:
+	// TECO-Reduction speedup: 1.66x
+	// DBA halves parameter volume: true
+}
+
+// Drive the full functional protocol stack for one update cycle.
+func ExampleReplayUpdate() {
+	old := teco.NewTensor("old", 32)
+	upd := teco.NewTensor("new", 32)
+	for i := 0; i < 32; i++ {
+		old.Set(i, float32(i))
+		upd.Set(i, float32(i)+1e-6)
+	}
+	_, stats, _ := teco.ReplayUpdate(old, upd, teco.ReplayConfig{DBA: true})
+	fmt.Printf("lines=%d payload=%dB on-demand=%d snoop-entries=%d\n",
+		stats.Lines, stats.PayloadBytes, stats.OnDemandTransfers, stats.SnoopEntries)
+	// Output:
+	// lines=2 payload=64B on-demand=0 snoop-entries=0
+}
+
+// Project an end-to-end training run and its data-center economics.
+func ExampleEstimateTraining() {
+	m, _ := teco.ModelByName("GPT2")
+	est := teco.EstimateTraining(m, 4, 10000, 500)
+	fmt.Printf("speedup %.2fx, time saved %.0f%%\n", est.Speedup, 100*est.TimeSavedFraction)
+	// Output:
+	// speedup 1.64x, time saved 39%
+}

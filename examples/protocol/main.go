@@ -1,0 +1,60 @@
+// Protocol: a walkthrough of the functional stack — the Fig 5 state
+// machine, CXL packet framing, and the Aggregator/Disaggregator byte merge
+// — on a small parameter tensor, printing what crosses the link under each
+// protocol variant.
+//
+//	go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"teco"
+)
+
+func main() {
+	const n = 256 // parameters (16 cache lines)
+	old := teco.NewTensor("step-i", n)
+	upd := teco.NewTensor("step-i+1", n)
+	for i := 0; i < n; i++ {
+		w := float32(math.Sin(float64(i))) // a "trained" value
+		old.Set(i, w)
+		upd.Set(i, w+w*1e-6) // a fine-tuning-sized update
+	}
+
+	run := func(label string, cfg teco.ReplayConfig) {
+		dev, stats, err := teco.ReplayUpdate(old, upd, cfg)
+		if err != nil {
+			panic(err)
+		}
+		exact := 0
+		for i := 0; i < n; i++ {
+			if math.Float32bits(dev.At(i)) == math.Float32bits(upd.At(i)) {
+				exact++
+			}
+		}
+		fmt.Printf("%-28s payload=%4dB  pushes=%-3d on-demand=%-3d snoop-entries=%-2d exact=%d/%d\n",
+			label, stats.PayloadBytes, stats.FlushData, stats.OnDemandTransfers, stats.SnoopEntries, exact, n)
+	}
+
+	fmt.Printf("One parameter-update cycle over %d params (%d cache lines):\n\n", n, old.Lines())
+	run("update protocol, full lines:", teco.ReplayConfig{})
+	run("update protocol + DBA(2):", teco.ReplayConfig{DBA: true})
+	run("update protocol + DBA(3):", teco.ReplayConfig{DBA: true, DirtyBytes: 3})
+	run("invalidation (stock MESI):", teco.ReplayConfig{Invalidation: true})
+
+	// And the reverse direction: gradients, never DBA'd.
+	grads := teco.NewTensor("grads", n)
+	for i := 0; i < n; i++ {
+		grads.Set(i, float32(math.Cos(float64(i))))
+	}
+	_, gs, _ := teco.ReplayGradients(grads, teco.ReplayConfig{})
+	fmt.Printf("\ngradients (GPU->CPU):        payload=%4dB  pushes=%-3d on-demand=%d\n",
+		gs.PayloadBytes, gs.FlushData, gs.OnDemandTransfers)
+
+	fmt.Println("\nReading the rows: the update protocol pushes every line at write time")
+	fmt.Println("(no on-demand fills, no snoop filter); DBA shrinks the payload; tiny")
+	fmt.Println("updates merge losslessly when confined to the transferred bytes; stock")
+	fmt.Println("MESI defers all data to on-demand fills on the consumer's critical path.")
+}

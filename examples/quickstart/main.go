@@ -1,0 +1,40 @@
+// Quickstart: simulate one Bert-large-cased training step under
+// ZeRO-Offload and both TECO variants, and print the Figure 12-style
+// breakdowns plus headline speedups.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"teco"
+)
+
+func main() {
+	m, ok := teco.ModelByName("Bert-large-cased")
+	if !ok {
+		panic("model missing")
+	}
+	const batch = 4
+
+	fmt.Printf("Model: %s | batch %d | params %.0fM | per-step transfer volume %.2f GB each way\n\n",
+		m.Name, batch, float64(m.Params)/1e6, float64(m.ParamBytes())/1e9)
+
+	base := teco.Simulate(teco.ZeroOffload, m, batch, teco.SimConfig{})
+	for _, sys := range []teco.System{teco.ZeroOffload, teco.TECOCXL, teco.TECOReduction} {
+		r := teco.Simulate(sys, m, batch, teco.SimConfig{})
+		fmt.Printf("%-15s %s\n", sys, r.Breakdown)
+		if sys != teco.ZeroOffload {
+			fmt.Printf("%-15s speedup %.2fx, exposed-communication reduction %.1f%%\n",
+				"", r.Speedup(base), 100*r.CommReduction(base))
+		}
+		fmt.Println()
+	}
+
+	// The §IV-A2 ablation: what stock CXL (invalidation MESI) would cost.
+	inv := teco.Simulate(teco.TECOInvalidation, m, batch, teco.SimConfig{})
+	upd := teco.Simulate(teco.TECOCXL, m, batch, teco.SimConfig{})
+	fmt.Printf("Invalidation-protocol ablation: %.1f%% slower than the update extension\n",
+		100*(float64(inv.Total())/float64(upd.Total())-1))
+}

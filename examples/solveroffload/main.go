@@ -1,0 +1,43 @@
+// Solveroffload: the paper's §VII generality argument applied to the other
+// application family it names — iterative numerical solvers. Solves a 2D
+// Poisson problem with (a) conjugate gradients as the exact reference and
+// (b) an offloaded damped-Jacobi iteration whose iterate crosses the
+// dirty-byte channel, showing where the approximation is free and where it
+// bites.
+//
+//	go run ./examples/solveroffload
+package main
+
+import (
+	"fmt"
+
+	"teco/internal/solver"
+)
+
+func main() {
+	const n = 24
+	m := solver.Poisson2D(n)
+	b := make([]float32, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	fmt.Printf("2D Poisson, %dx%d grid (%d unknowns, %d nonzeros)\n\n", n, n, m.N, m.NNZ())
+
+	x := make([]float32, m.N)
+	iters := solver.CG(m, b, x, 1e-5, 5000)
+	fmt.Printf("CG reference:                 converged in %d iterations\n", iters)
+
+	run := func(label string, cfg solver.OffloadConfig) {
+		res := solver.OffloadedJacobi(m, b, make([]float32, m.N), cfg)
+		fmt.Printf("%-29s iters=%-5d rel-residual=%.3g converged=%v\n",
+			label, res.Iterations, res.RelRes, res.Converged)
+	}
+	run("Jacobi, exact transfers:", solver.OffloadConfig{Tol: 1e-4, MaxIter: 20000})
+	run("Jacobi, 3-dirty-byte channel:", solver.OffloadConfig{Tol: 1e-4, MaxIter: 20000, DirtyBytes: 3})
+	run("Jacobi, 2-dirty-byte early:", solver.OffloadConfig{Tol: 1e-4, MaxIter: 20000, DirtyBytes: 2, ActAfterIters: 20})
+	run("Jacobi, 2-dirty-byte late:", solver.OffloadConfig{Tol: 1e-4, MaxIter: 20000, DirtyBytes: 2, ActAfterIters: 2000})
+
+	fmt.Println("\nWith the fixed-binade encoding the 3-byte channel is lossless, so the")
+	fmt.Println("solver converges exactly like the reference; 2 bytes only works once the")
+	fmt.Println("iterate has settled — the solver-world analogue of act_aft_steps.")
+}

@@ -1,0 +1,3 @@
+module teco
+
+go 1.22

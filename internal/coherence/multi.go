@@ -1,0 +1,202 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"teco/internal/mem"
+)
+
+// MultiDomain generalizes the coherent domain to N agents and implements
+// the paper's fallback rule (§IV-A2): the update protocol is only safe when
+// a line has a clear producer/consumer relationship; "for the application
+// that does not have a clear producer-consumer relationship (e.g., having
+// more than two sharers) or multiple sharers updating the cache line
+// concurrently, TECO goes back to using the invalidation protocol and snoop
+// filter". The home agent applies the rule per line: a third sharer or a
+// second distinct writer demotes the line to invalidation handling, which
+// requires a directory (snoop-filter) entry.
+type MultiDomain struct {
+	n       int
+	addrMap *mem.Map
+	sink    TransferFunc
+
+	lines map[mem.LineAddr]*dirEntry
+
+	updatePushes int64
+	onDemand     int64
+	fallbacks    int64
+}
+
+// dirEntry is the home agent's per-line state.
+type dirEntry struct {
+	// sharers is a bitset of agents holding a valid copy.
+	sharers uint64
+	// writer is the unique producer observed so far (-1: none).
+	writer int
+	// dirtyAt is the agent holding a Modified copy under invalidation
+	// handling (-1: clean).
+	dirtyAt int
+	// inval marks the line demoted to the invalidation protocol.
+	inval bool
+}
+
+// NewMultiDomain builds an N-agent domain (2 <= n <= 64).
+func NewMultiDomain(n int, addrMap *mem.Map, sink TransferFunc) *MultiDomain {
+	if n < 2 || n > 64 {
+		panic(fmt.Sprintf("coherence: %d agents", n))
+	}
+	if addrMap == nil {
+		panic("coherence: nil address map")
+	}
+	if sink == nil {
+		sink = func(Transfer) {}
+	}
+	return &MultiDomain{n: n, addrMap: addrMap, sink: sink, lines: make(map[mem.LineAddr]*dirEntry)}
+}
+
+func (d *MultiDomain) entry(l mem.LineAddr) *dirEntry {
+	e, ok := d.lines[l]
+	if !ok {
+		e = &dirEntry{writer: -1, dirtyAt: -1}
+		d.lines[l] = e
+	}
+	return e
+}
+
+func (d *MultiDomain) check(agent int) {
+	if agent < 0 || agent >= d.n {
+		panic(fmt.Sprintf("coherence: agent %d of %d", agent, d.n))
+	}
+}
+
+// Write performs a store by agent to line l.
+func (d *MultiDomain) Write(l mem.LineAddr, agent int) {
+	d.check(agent)
+	e := d.entry(l)
+
+	if !e.inval {
+		if e.writer == -1 {
+			e.writer = agent
+		} else if e.writer != agent {
+			// Second distinct writer: no clear producer. Fall back.
+			d.demote(l, e)
+		}
+	}
+	if !e.inval && bits.OnesCount64(e.sharers&^(1<<uint(agent))) > 1 {
+		// More than two participants (writer + >1 consumers): fall back.
+		d.demote(l, e)
+	}
+
+	if e.inval {
+		// Invalidation protocol: drop all other copies, hold M.
+		e.sharers = 1 << uint(agent)
+		e.dirtyAt = agent
+		return
+	}
+	// Update protocol: push the line to every current sharer.
+	e.sharers |= 1 << uint(agent)
+	for a := 0; a < d.n; a++ {
+		if a == agent || e.sharers&(1<<uint(a)) == 0 {
+			continue
+		}
+		d.updatePushes++
+		d.sink(Transfer{Line: l, Msg: MsgFlushData})
+	}
+	e.dirtyAt = -1 // pushed: everyone is clean-shared
+}
+
+// Read performs a load by agent. It returns true when the read needed an
+// on-demand transfer (critical-path cost).
+func (d *MultiDomain) Read(l mem.LineAddr, agent int) bool {
+	d.check(agent)
+	e := d.entry(l)
+	if e.sharers&(1<<uint(agent)) != 0 {
+		return false // hit
+	}
+	onDemand := false
+	if e.dirtyAt >= 0 && e.dirtyAt != agent {
+		// Fetch the dirty copy: on-demand link crossing.
+		d.onDemand++
+		onDemand = true
+		d.sink(Transfer{Line: l, Msg: MsgData, OnDemand: true})
+		e.dirtyAt = -1
+	}
+	e.sharers |= 1 << uint(agent)
+	if !e.inval && bits.OnesCount64(e.sharers) > 2 {
+		// Three sharers: no clear producer/consumer pair. Fall back.
+		d.demote(l, e)
+	}
+	return onDemand
+}
+
+// demote switches a line to invalidation handling.
+func (d *MultiDomain) demote(l mem.LineAddr, e *dirEntry) {
+	if e.inval {
+		return
+	}
+	e.inval = true
+	d.fallbacks++
+}
+
+// Evict removes agent's copy.
+func (d *MultiDomain) Evict(l mem.LineAddr, agent int) {
+	d.check(agent)
+	e, ok := d.lines[l]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << uint(agent)
+	if e.dirtyAt == agent {
+		e.dirtyAt = -1 // writeback to home
+	}
+	if e.sharers == 0 && !e.inval {
+		delete(d.lines, l)
+	}
+}
+
+// Stats returns (update pushes, on-demand fills, lines demoted to
+// invalidation).
+func (d *MultiDomain) Stats() (pushes, onDemand, fallbacks int64) {
+	return d.updatePushes, d.onDemand, d.fallbacks
+}
+
+// SnoopEntries counts directory entries that exist because of invalidation
+// handling — the snoop-filter cost the update protocol avoids.
+func (d *MultiDomain) SnoopEntries() int {
+	n := 0
+	for _, e := range d.lines {
+		if e.inval {
+			n++
+		}
+	}
+	return n
+}
+
+// UpdateLines counts lines still riding the update protocol.
+func (d *MultiDomain) UpdateLines() int {
+	n := 0
+	for _, e := range d.lines {
+		if !e.inval {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates the multi-agent directory: a dirty line has
+// exactly one sharer, and update-mode lines have at most one writer and at
+// most two participants.
+func (d *MultiDomain) CheckInvariants() error {
+	for l, e := range d.lines {
+		if e.dirtyAt >= 0 {
+			if e.sharers != 1<<uint(e.dirtyAt) {
+				return fmt.Errorf("line %d: dirty at %d but sharers %b", l, e.dirtyAt, e.sharers)
+			}
+		}
+		if !e.inval && bits.OnesCount64(e.sharers) > 2 {
+			return fmt.Errorf("line %d: update mode with %d sharers", l, bits.OnesCount64(e.sharers))
+		}
+	}
+	return nil
+}

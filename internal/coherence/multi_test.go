@@ -1,0 +1,159 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"teco/internal/mem"
+)
+
+func newMulti(t *testing.T, n int) *MultiDomain {
+	t.Helper()
+	m := mem.NewMap()
+	m.Allocate("params", mem.RegionGiantCache, 1<<20)
+	return NewMultiDomain(n, m, nil)
+}
+
+func TestMultiProducerConsumerStaysUpdate(t *testing.T) {
+	d := newMulti(t, 2)
+	const line = mem.LineAddr(3)
+	// Consumer reads first (holds a copy), then the producer updates it
+	// repeatedly: classic CPU->GPU parameter flow.
+	d.Read(line, 1)
+	for i := 0; i < 100; i++ {
+		d.Write(line, 0)
+		if onDemand := d.Read(line, 1); onDemand {
+			t.Fatal("consumer read must be a hit under the update protocol")
+		}
+	}
+	pushes, onDemand, fallbacks := d.Stats()
+	if pushes != 100 {
+		t.Fatalf("pushes = %d", pushes)
+	}
+	if onDemand != 0 || fallbacks != 0 {
+		t.Fatalf("onDemand=%d fallbacks=%d", onDemand, fallbacks)
+	}
+	if d.SnoopEntries() != 0 {
+		t.Fatal("no snoop entries for producer/consumer lines")
+	}
+	if d.UpdateLines() != 1 {
+		t.Fatal("line should ride the update protocol")
+	}
+}
+
+func TestMultiSecondWriterDemotes(t *testing.T) {
+	d := newMulti(t, 3)
+	const line = mem.LineAddr(7)
+	d.Write(line, 0)
+	d.Write(line, 1) // concurrent second writer
+	_, _, fallbacks := d.Stats()
+	if fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", fallbacks)
+	}
+	if d.SnoopEntries() != 1 {
+		t.Fatal("demoted line must occupy the snoop filter")
+	}
+	// Under invalidation handling the next reader pays an on-demand fill.
+	if !d.Read(line, 2) {
+		t.Fatal("read after demotion must fetch on demand")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiThirdSharerDemotes(t *testing.T) {
+	d := newMulti(t, 4)
+	const line = mem.LineAddr(9)
+	d.Write(line, 0)
+	d.Read(line, 1)
+	d.Read(line, 2) // third participant
+	_, _, fallbacks := d.Stats()
+	if fallbacks != 1 {
+		t.Fatalf("three sharers must demote the line (fallbacks=%d)", fallbacks)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiEvictCleansUp(t *testing.T) {
+	d := newMulti(t, 2)
+	const line = mem.LineAddr(11)
+	d.Write(line, 0)
+	d.Evict(line, 0)
+	if d.UpdateLines() != 0 {
+		t.Fatal("fully evicted update-mode line should leave the directory")
+	}
+	// Evicting an untracked line is a no-op.
+	d.Evict(mem.LineAddr(999), 1)
+}
+
+func TestMultiWriteAfterDemotionInvalidates(t *testing.T) {
+	d := newMulti(t, 3)
+	const line = mem.LineAddr(13)
+	d.Write(line, 0)
+	d.Write(line, 1)
+	d.Read(line, 2)
+	d.Write(line, 0)
+	// Only the writer holds a copy now.
+	if onDemand := d.Read(line, 2); !onDemand {
+		t.Fatal("post-invalidation read must be on-demand")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiBounds(t *testing.T) {
+	for _, bad := range []int{0, 1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d should panic", bad)
+				}
+			}()
+			newMulti(t, bad)
+		}()
+	}
+	d := newMulti(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad agent should panic")
+		}
+	}()
+	d.Write(0, 5)
+}
+
+// TestMultiRandomWalkInvariants drives random traffic from many agents and
+// checks directory invariants continuously.
+func TestMultiRandomWalkInvariants(t *testing.T) {
+	d := newMulti(t, 8)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50000; i++ {
+		l := mem.LineAddr(rng.Intn(64))
+		a := rng.Intn(8)
+		switch rng.Intn(3) {
+		case 0:
+			d.Write(l, a)
+		case 1:
+			d.Read(l, a)
+		case 2:
+			d.Evict(l, a)
+		}
+		if i%1000 == 0 {
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// With 8 agents hammering 64 lines, most lines must have fallen back
+	// — the paper's point that the update protocol targets clear
+	// producer/consumer patterns.
+	if d.SnoopEntries() < 32 {
+		t.Fatalf("only %d demoted lines; expected most of 64", d.SnoopEntries())
+	}
+}

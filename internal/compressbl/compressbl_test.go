@@ -1,0 +1,90 @@
+package compressbl
+
+import (
+	"testing"
+
+	"teco/internal/modelzoo"
+)
+
+func TestSnapshotRatios(t *testing.T) {
+	// Table VIII compressibility shape: T5 notably compressible, the
+	// dense transformers nearly incompressible.
+	cases := []struct {
+		m        modelzoo.Model
+		min, max float64
+	}{
+		{modelzoo.GPT2(), 0.0, 0.25},
+		{modelzoo.AlbertXXLarge(), 0.0, 0.10},
+		{modelzoo.BertLargeCased(), 0.0, 0.10},
+		{modelzoo.T5Large(), 0.25, 0.50},
+	}
+	for _, c := range cases {
+		row := LosslessCompression(c.m, 4, 1)
+		if row.Ratio < c.min || row.Ratio > c.max {
+			t.Errorf("%s ratio = %.3f, want [%.2f, %.2f]", c.m.Name, row.Ratio, c.min, c.max)
+		}
+	}
+}
+
+// TestLosslessAlwaysSlower: Table VIII's conclusion — "compression and
+// decompression incur large performance overhead (at least 2x)" versus
+// TECO-Reduction.
+func TestLosslessAlwaysSlower(t *testing.T) {
+	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.AlbertXXLarge(), modelzoo.BertLargeCased(), modelzoo.T5Large()} {
+		row := LosslessCompression(m, 4, 2)
+		if row.Normalized < 1.2 {
+			t.Errorf("%s: lossless pipeline %.2fx, must be clearly slower than TECO", m.Name, row.Normalized)
+		}
+		if row.Normalized > 8 {
+			t.Errorf("%s: %.2fx implausibly slow", m.Name, row.Normalized)
+		}
+	}
+}
+
+// TestAlbertLeastPenalized: in Table VIII Albert shows the smallest
+// normalized time (1.95) because its compute-dominated step amortizes the
+// compression overhead.
+func TestAlbertLeastPenalized(t *testing.T) {
+	a := LosslessCompression(modelzoo.AlbertXXLarge(), 4, 3)
+	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.BertLargeCased(), modelzoo.T5Large()} {
+		o := LosslessCompression(m, 4, 3)
+		if a.Normalized >= o.Normalized {
+			t.Errorf("Albert normalized %.2f should be below %s's %.2f", a.Normalized, m.Name, o.Normalized)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a := ParamSnapshot(modelzoo.GPT2(), 9)
+	b := ParamSnapshot(modelzoo.GPT2(), 9)
+	if len(a) != SnapshotBytes || len(b) != len(a) {
+		t.Fatal("snapshot size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("snapshot not deterministic")
+		}
+	}
+}
+
+func TestGLUEMNLISteps(t *testing.T) {
+	if GLUEMNLISteps(32) != 3*392702/32 {
+		t.Fatal("steps formula")
+	}
+}
+
+// TestZeroQuantTableVII: ZeroQuant takes substantially longer than TECO on
+// Bert-base/GLUE-MNLI (paper: 5.8h vs 2.03h), and the TECO end-to-end time
+// lands in the paper's ballpark.
+func TestZeroQuantTableVII(t *testing.T) {
+	row := ZeroQuant(modelzoo.BertBaseUncased(), 32, GLUEMNLISteps(32))
+	if row.Slowdown < 1.5 || row.Slowdown > 4.5 {
+		t.Fatalf("ZeroQuant slowdown = %.2fx, paper reports 2.87x", row.Slowdown)
+	}
+	if row.TECOHours < 1.0 || row.TECOHours > 4.0 {
+		t.Fatalf("TECO hours = %.2f, paper reports 2.03", row.TECOHours)
+	}
+	if row.ZeroQuantHours <= row.TECOHours {
+		t.Fatal("ZeroQuant must be slower")
+	}
+}

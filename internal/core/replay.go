@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"teco/internal/coherence"
+	"teco/internal/cxl"
+	"teco/internal/dba"
+	"teco/internal/mem"
+	"teco/internal/tensor"
+)
+
+// ReplayStats summarizes a functional protocol replay.
+type ReplayStats struct {
+	// Lines is the number of parameter cache lines updated.
+	Lines int64
+	// PayloadBytes is the total payload crossing the link CPU->GPU.
+	PayloadBytes int64
+	// OnDemandTransfers counts critical-path (read-miss) transfers; zero
+	// under the update protocol.
+	OnDemandTransfers int64
+	// FlushData counts update-protocol pushes.
+	FlushData int64
+	// SnoopEntries is the directory size at the end (zero under update).
+	SnoopEntries int
+}
+
+// ReplayParameterUpdate drives the full functional stack for one parameter
+// update cycle: the CPU writes every cache line of `updated` into the
+// coherent domain; payloads are framed as CXL packets (DBA-aggregated when
+// configured), decoded on the accelerator side, and merged into the stale
+// device copy (`old`). It returns the resulting device-side tensor and the
+// protocol statistics.
+//
+// Under DBA the device tensor is the byte-exact dirty-byte merge: new low
+// bytes over old high bytes — the approximation the accuracy experiments
+// (Table V, Fig 10, Fig 13) quantify.
+func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Tensor, ReplayStats, error) {
+	if old.Len() != updated.Len() {
+		return nil, ReplayStats{}, fmt.Errorf("core: replay over mismatched tensors (%d vs %d)", old.Len(), updated.Len())
+	}
+	if cfg.DirtyBytes <= 0 {
+		cfg.DirtyBytes = dba.DefaultDirtyBytes
+	}
+
+	amap := mem.NewMap()
+	region := amap.Allocate("params", mem.RegionGiantCache, old.Bytes())
+	mode := coherence.Update
+	if cfg.Invalidation {
+		mode = coherence.Invalidation
+	}
+
+	device := old.Clone()
+	var stats ReplayStats
+
+	dom := coherence.NewDomain(coherence.Config{
+		Mode:    mode,
+		AddrMap: amap,
+		OnTransfer: func(tr coherence.Transfer) {
+			if tr.OnDemand {
+				stats.OnDemandTransfers++
+			}
+			if tr.Msg == coherence.MsgFlushData {
+				stats.FlushData++
+			}
+			line := int64(tr.Line - region.Base.Line())
+			// Frame the payload as a CXL packet and apply it to the
+			// device copy.
+			newLine := updated.EncodeLine(line)
+			var pkt cxl.Packet
+			if cfg.DBA && !cfg.Invalidation {
+				pkt = cxl.Packet{
+					Addr:       tr.Line,
+					Aggregated: true,
+					DirtyBytes: uint8(cfg.DirtyBytes),
+					Payload:    dba.Aggregate(newLine, cfg.DirtyBytes),
+				}
+			} else {
+				pkt = cxl.Packet{Addr: tr.Line, Payload: newLine}
+			}
+			wire := pkt.Encode()
+			decoded, err := cxl.Decode(wire)
+			if err != nil {
+				panic(fmt.Sprintf("core: packet did not survive the wire: %v", err))
+			}
+			stats.PayloadBytes += int64(decoded.PayloadLen())
+			if decoded.Aggregated {
+				stale := device.EncodeLine(line)
+				merged := dba.Disaggregate(stale, decoded.Payload, int(decoded.DirtyBytes))
+				device.DecodeLine(line, merged)
+			} else {
+				device.DecodeLine(line, decoded.Payload)
+			}
+		},
+	})
+
+	lines := old.Lines()
+	stats.Lines = lines
+	// Initial condition: the giant cache holds the previous step's
+	// parameters (Fig 5: G_S = E).
+	for l := int64(0); l < lines; l++ {
+		dom.Seed(region.Base.Line()+mem.LineAddr(l), coherence.Accelerator)
+	}
+	// CPU ADAM pass: vectorized update writes each line once.
+	for l := int64(0); l < lines; l++ {
+		dom.Write(region.Base.Line()+mem.LineAddr(l), coherence.CPU)
+	}
+	// End-of-iteration flush guarantees everything was pushed (update
+	// protocol). Under the invalidation ablation there is no push: dirty
+	// lines stay in the CPU cache (or cross at eviction) and the
+	// accelerator pulls them on demand — the §IV-A2 critical-path cost.
+	if mode == coherence.Update {
+		dom.FlushCPU()
+	}
+	// Accelerator reads all parameters for the next forward pass; under
+	// the update protocol these are local hits, under invalidation they
+	// are on-demand fills.
+	for l := int64(0); l < lines; l++ {
+		dom.Read(region.Base.Line()+mem.LineAddr(l), coherence.Accelerator)
+	}
+	stats.SnoopEntries = dom.SnoopEntries()
+	return device, stats, nil
+}
+
+// ReplayGradientFlush drives the reverse functional path: the accelerator
+// produces gradient cache lines in the giant-cache region during backward
+// ((3) in Fig 6); the update protocol pushes each line to the CPU, which
+// assembles its gradient copy for clipping and ADAM. It returns the
+// CPU-side tensor and protocol statistics. Gradients never use DBA (paper
+// §V: "the gradients transfers from the accelerator to CPU cannot apply
+// DBA"), so every payload is a full 64-byte line.
+func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, ReplayStats, error) {
+	amap := mem.NewMap()
+	region := amap.Allocate("grads", mem.RegionGiantCache, grads.Bytes())
+	mode := coherence.Update
+	if cfg.Invalidation {
+		mode = coherence.Invalidation
+	}
+
+	cpuCopy := tensor.New(grads.Name()+"-cpu", grads.Len())
+	var stats ReplayStats
+	dom := coherence.NewDomain(coherence.Config{
+		Mode:    mode,
+		AddrMap: amap,
+		OnTransfer: func(tr coherence.Transfer) {
+			if tr.OnDemand {
+				stats.OnDemandTransfers++
+			}
+			if tr.Msg == coherence.MsgFlushData {
+				stats.FlushData++
+			}
+			line := int64(tr.Line - region.Base.Line())
+			pkt := cxl.Packet{Addr: tr.Line, Payload: grads.EncodeLine(line)}
+			decoded, err := cxl.Decode(pkt.Encode())
+			if err != nil {
+				panic(fmt.Sprintf("core: gradient packet did not survive the wire: %v", err))
+			}
+			stats.PayloadBytes += int64(decoded.PayloadLen())
+			cpuCopy.DecodeLine(line, decoded.Payload)
+		},
+	})
+
+	lines := grads.Lines()
+	stats.Lines = lines
+	// Backward writes each gradient line once on the accelerator.
+	for l := int64(0); l < lines; l++ {
+		dom.Write(region.Base.Line()+mem.LineAddr(l), coherence.Accelerator)
+	}
+	// CPU reads all gradients for clipping; under the update protocol the
+	// data already arrived, under invalidation each read is on demand.
+	for l := int64(0); l < lines; l++ {
+		dom.Read(region.Base.Line()+mem.LineAddr(l), coherence.CPU)
+	}
+	stats.SnoopEntries = dom.SnoopEntries()
+	return cpuCopy, stats, nil
+}

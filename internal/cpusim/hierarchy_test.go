@@ -1,0 +1,122 @@
+package cpusim
+
+import (
+	"testing"
+
+	"teco/internal/cxl"
+	"teco/internal/mem"
+	"teco/internal/modelzoo"
+	"teco/internal/sim"
+	"teco/internal/trace"
+)
+
+func runPass(t *testing.T, nParams int64) *trace.Trace {
+	t.Helper()
+	h := NewHierarchySim()
+	amap, regions := LayoutAdam(nParams)
+	return h.RunAdamPass(amap, regions, nParams)
+}
+
+// TestHierarchyTraceCoversEveryParameterLine: each parameter cache line is
+// written exactly once per pass and must surface as exactly one memory
+// writeback (eviction or flush) — no loss, no duplication.
+func TestHierarchyTraceCoversEveryParameterLine(t *testing.T) {
+	const nParams = 1 << 18 // 256K params = 16384 lines, 16x the L3... 1MB, fits L3
+	tr := runPass(t, nParams)
+	lines := mem.LinesIn(nParams * 4)
+	if int64(tr.Len()) != lines {
+		t.Fatalf("trace has %d writebacks, want %d", tr.Len(), lines)
+	}
+	seen := map[mem.LineAddr]bool{}
+	for _, r := range tr.Records() {
+		if r.Op != trace.Store {
+			t.Fatal("trace must contain stores only")
+		}
+		if seen[r.Line] {
+			t.Fatalf("line %d written back twice", r.Line)
+		}
+		seen[r.Line] = true
+	}
+}
+
+// TestHierarchyTraceLargerThanLLC: when the parameter set exceeds the
+// 16MB L3, most writebacks happen during the pass (evictions), not at the
+// flush — the streaming behaviour that lets TECO overlap transfers with
+// the optimizer.
+func TestHierarchyTraceLargerThanLLC(t *testing.T) {
+	const nParams = 8 << 20 // 32 MB of params: 2x the L3
+	h := NewHierarchySim()
+	amap, regions := LayoutAdam(nParams)
+	tr := h.RunAdamPass(amap, regions, nParams)
+	lines := mem.LinesIn(nParams * 4)
+	if int64(tr.Len()) != lines {
+		t.Fatalf("writebacks = %d, want %d", tr.Len(), lines)
+	}
+	end := h.Now()
+	early := 0
+	for _, r := range tr.Records() {
+		if r.At < end*9/10 {
+			early++
+		}
+	}
+	if frac := float64(early) / float64(tr.Len()); frac < 0.3 {
+		t.Fatalf("only %.2f of writebacks stream during the pass", frac)
+	}
+}
+
+// TestHierarchyTimestampsMonotone: the trace is causally ordered.
+func TestHierarchyTimestampsMonotone(t *testing.T) {
+	tr := runPass(t, 1<<16)
+	recs := tr.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatal("sorted trace timestamps must be nondecreasing")
+		}
+	}
+	if recs[len(recs)-1].At <= 0 {
+		t.Fatal("timestamps must advance")
+	}
+}
+
+// TestHierarchyTraceReplaysOverCXL: the full paper pipeline — hierarchy
+// simulation -> timed writeback trace -> CXL replay — runs end to end, and
+// DBA halves the replayed volume.
+func TestHierarchyTraceReplaysOverCXL(t *testing.T) {
+	tr := runPass(t, 1<<18)
+	full := trace.ReplayOverCXL(tr, cxl.NewLink(sim.New(), modelzoo.CXLLinkBandwidth(), cxl.DefaultQueueCap), 64, 0)
+	dba := trace.ReplayOverCXL(tr, cxl.NewLink(sim.New(), modelzoo.CXLLinkBandwidth(), cxl.DefaultQueueCap), 32, sim.Nanosecond)
+	if full.Bytes != dba.Bytes*2 {
+		t.Fatalf("volumes: %d vs %d", full.Bytes, dba.Bytes)
+	}
+	if dba.Finish > full.Finish {
+		t.Fatal("DBA replay must not finish later")
+	}
+	if full.Lines != int64(tr.Len()) {
+		t.Fatal("replay must cover the whole trace")
+	}
+}
+
+// TestHierarchyStreamingBeatsFlushStorm: streamed writebacks spread link
+// work across the pass; deferring everything to one flush (what a
+// non-coherent design does) serializes it at the end. The drain tail after
+// the producer finishes must be shorter with streaming.
+func TestHierarchyStreamingBeatsFlushStorm(t *testing.T) {
+	const nParams = 8 << 20
+	h := NewHierarchySim()
+	amap, regions := LayoutAdam(nParams)
+	tr := h.RunAdamPass(amap, regions, nParams)
+
+	streamed := trace.ReplayOverCXL(tr, cxl.NewLink(sim.New(), modelzoo.CXLLinkBandwidth(), cxl.DefaultQueueCap), 64, 0)
+
+	// Flush-storm counterfactual: same lines, all ready at pass end.
+	storm := &trace.Trace{}
+	end := h.Now()
+	for _, r := range tr.Records() {
+		storm.Append(end, trace.Store, r.Line)
+	}
+	stormRes := trace.ReplayOverCXL(storm, cxl.NewLink(sim.New(), modelzoo.CXLLinkBandwidth(), cxl.DefaultQueueCap), 64, 0)
+	if streamed.ExposedAfter >= stormRes.ExposedAfter {
+		t.Fatalf("streaming tail %v should beat flush-storm tail %v",
+			streamed.ExposedAfter, stormRes.ExposedAfter)
+	}
+}

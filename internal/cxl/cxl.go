@@ -1,0 +1,228 @@
+// Package cxl models the CXL.cache transport the paper builds on: a serial
+// link running at 94.3% of PCIe 3.0 x16 bandwidth, a CXL controller with a
+// 128-entry pending queue, packet framing with the reserved header bit that
+// flags DBA-aggregated payloads, and the CXLFENCE completion primitive
+// (paper §IV-A2 and §VIII-A).
+package cxl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"teco/internal/mem"
+	"teco/internal/sim"
+)
+
+// Link-speed constants from the paper's experimental setup (§VIII-A).
+const (
+	// PCIe3x16BytesPerSecond is the emulated PCIe 3.0 x16 bandwidth.
+	PCIe3x16BytesPerSecond = 16e9
+	// Efficiency is the fraction of raw PCIe bandwidth CXL sustains
+	// ("about 90%", measured as 94.3% in the paper's references).
+	Efficiency = 0.943
+	// DefaultQueueCap is the CXL controller's pending-queue depth.
+	DefaultQueueCap = 128
+	// MsgBytes is the link occupancy of a data-less protocol message
+	// (invalidation, Go_Flush, ReadOwn): one header-sized slot.
+	MsgBytes = 16
+)
+
+// EffectiveBandwidth returns the default modelled link bandwidth in B/s.
+func EffectiveBandwidth() float64 { return PCIe3x16BytesPerSecond * Efficiency }
+
+// Link is the timed serial-link model. All payloads serialize FIFO through
+// the link ("the updated cache lines ... are going through the link one
+// after another in a stream manner", §VIII-A). The pending queue bounds how
+// far the producer may run ahead of the link.
+type Link struct {
+	eng            *sim.Engine
+	bytesPerSecond float64
+	queueCap       int
+
+	freeAt sim.Time
+	// finishRing holds the completion times of the most recent queueCap
+	// packets; a new packet may only be admitted once the oldest of them
+	// has left the queue.
+	finishRing []sim.Time
+	ringPos    int
+
+	bytesSent int64
+	packets   int64
+	busy      sim.Time
+	// stall accumulates producer wait time caused by a full pending queue.
+	stall sim.Time
+}
+
+// NewLink builds a link bound to eng. bytesPerSecond <= 0 selects the
+// default effective CXL bandwidth; queueCap <= 0 selects DefaultQueueCap.
+func NewLink(eng *sim.Engine, bytesPerSecond float64, queueCap int) *Link {
+	if bytesPerSecond <= 0 {
+		bytesPerSecond = EffectiveBandwidth()
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	return &Link{
+		eng:            eng,
+		bytesPerSecond: bytesPerSecond,
+		queueCap:       queueCap,
+		finishRing:     make([]sim.Time, queueCap),
+	}
+}
+
+// BytesPerSecond returns the modelled link bandwidth.
+func (l *Link) BytesPerSecond() float64 { return l.bytesPerSecond }
+
+// ServiceTime returns the serialization time of a payload of n bytes plus a
+// fixed extra latency (e.g. the 1 ns Aggregator delay).
+func (l *Link) ServiceTime(n int, extra sim.Time) sim.Time {
+	return sim.DurationForBytes(int64(n), l.bytesPerSecond) + extra
+}
+
+// Send enqueues a packet of n payload bytes that becomes ready at time
+// `ready` (producer-side timestamp; may be in the simulated future). extra
+// is added to the serialization time (aggregation logic delay). It returns
+// the admission time (when a queue slot was available — the producer is
+// back-pressured until then) and the completion time (when the last byte is
+// on the far side).
+func (l *Link) Send(ready sim.Time, n int, extra sim.Time) (admit, done sim.Time) {
+	oldest := l.finishRing[l.ringPos]
+	admit = ready
+	if oldest > admit {
+		admit = oldest
+		l.stall += oldest - ready
+	}
+	start := admit
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	svc := l.ServiceTime(n, extra)
+	done = start + svc
+	l.freeAt = done
+	l.busy += svc
+	l.finishRing[l.ringPos] = done
+	l.ringPos = (l.ringPos + 1) % l.queueCap
+	l.bytesSent += int64(n)
+	l.packets++
+	return admit, done
+}
+
+// SendMsg enqueues a data-less protocol message.
+func (l *Link) SendMsg(ready sim.Time) (admit, done sim.Time) {
+	return l.Send(ready, MsgBytes, 0)
+}
+
+// Fence returns the time at which all traffic enqueued so far has completed,
+// but no earlier than `ready`. This is CXLFENCE: it "guarantees the CXL
+// coherence traffic by checking the status of CXL controller and home
+// agent" (paper §IV-A2).
+func (l *Link) Fence(ready sim.Time) sim.Time {
+	if l.freeAt > ready {
+		return l.freeAt
+	}
+	return ready
+}
+
+// Drained returns the time the link finishes all enqueued traffic.
+func (l *Link) Drained() sim.Time { return l.freeAt }
+
+// Stats returns (payload bytes sent, packets, cumulative busy time,
+// cumulative producer stall caused by the pending queue).
+func (l *Link) Stats() (bytes int64, packets int64, busy, stall sim.Time) {
+	return l.bytesSent, l.packets, l.busy, l.stall
+}
+
+// Reset clears counters and queue state (a new training run on the same
+// hardware).
+func (l *Link) Reset() {
+	l.freeAt = 0
+	l.bytesSent, l.packets = 0, 0
+	l.busy, l.stall = 0, 0
+	for i := range l.finishRing {
+		l.finishRing[i] = 0
+	}
+	l.ringPos = 0
+}
+
+// ---------------------------------------------------------------------------
+// Packet framing.
+
+// headerSize is the encoded packet header: 8 bytes carrying the line
+// address, the aggregation flag (one of the "at least six unused bits" the
+// paper repurposes, §V-B), and the dirty-byte length.
+const headerSize = 8
+
+// Flags inside the header's top byte.
+const (
+	flagAggregated = 1 << 7
+)
+
+// Packet is one CXL.cache data packet: a 64-byte full cache line, or an
+// aggregated payload carrying only the dirty bytes of each 4-byte word.
+type Packet struct {
+	Addr mem.LineAddr
+	// Aggregated marks a DBA payload (header flag bit set).
+	Aggregated bool
+	// DirtyBytes is the per-word dirty length (1..4) when Aggregated.
+	DirtyBytes uint8
+	// Payload is LineSize bytes when !Aggregated, or
+	// LineSize/4*DirtyBytes bytes when Aggregated.
+	Payload []byte
+}
+
+// PayloadLen returns the expected payload length for the packet's flags.
+func (p *Packet) PayloadLen() int {
+	if !p.Aggregated {
+		return mem.LineSize
+	}
+	return mem.LineSize / 4 * int(p.DirtyBytes)
+}
+
+// WireBytes returns the total on-wire size (header + payload).
+func (p *Packet) WireBytes() int { return headerSize + p.PayloadLen() }
+
+// Encode serializes the packet. It panics when the payload length does not
+// match the flags — always a construction bug.
+func (p *Packet) Encode() []byte {
+	if len(p.Payload) != p.PayloadLen() {
+		panic(fmt.Sprintf("cxl: payload %dB does not match flags (want %dB)", len(p.Payload), p.PayloadLen()))
+	}
+	buf := make([]byte, headerSize+len(p.Payload))
+	// 48-bit line address in the low 6 bytes, flags+dirty in byte 7.
+	binary.LittleEndian.PutUint64(buf, uint64(p.Addr)&((1<<48)-1))
+	var fl byte
+	if p.Aggregated {
+		fl = flagAggregated | (p.DirtyBytes & 0x7)
+	}
+	buf[7] = fl
+	copy(buf[headerSize:], p.Payload)
+	return buf
+}
+
+// ErrShortPacket reports a truncated packet buffer.
+var ErrShortPacket = errors.New("cxl: short packet")
+
+// Decode parses a packet from buf.
+func Decode(buf []byte) (Packet, error) {
+	if len(buf) < headerSize {
+		return Packet{}, ErrShortPacket
+	}
+	var p Packet
+	p.Addr = mem.LineAddr(binary.LittleEndian.Uint64(buf[:8]) & ((1 << 48) - 1))
+	fl := buf[7]
+	if fl&flagAggregated != 0 {
+		p.Aggregated = true
+		p.DirtyBytes = fl & 0x7
+		if p.DirtyBytes == 0 || p.DirtyBytes > 4 {
+			return Packet{}, fmt.Errorf("cxl: invalid dirty-byte length %d", p.DirtyBytes)
+		}
+	}
+	want := p.PayloadLen()
+	if len(buf) < headerSize+want {
+		return Packet{}, ErrShortPacket
+	}
+	p.Payload = make([]byte, want)
+	copy(p.Payload, buf[headerSize:headerSize+want])
+	return p, nil
+}

@@ -1,0 +1,177 @@
+// Package dba implements dirty-byte aggregation (paper §V): the Aggregator
+// in the CPU-side CXL module that packs only the least-significant
+// `dirty_bytes` bytes of each 4-byte parameter into a CXL packet, the
+// Disaggregator in the accelerator-side CXL module that merges those bytes
+// into the stale cache-line copy held in the giant cache, the 4-bit DBA
+// configuration register, and the runtime activation rule driven by
+// `act_aft_steps`.
+//
+// Byte order: parameters are FP32 values stored little-endian, so the
+// "least-significant two bytes" the paper identifies as the frequently
+// changing mantissa bytes are bytes [0,1] of each 4-byte word in memory.
+package dba
+
+import (
+	"fmt"
+
+	"teco/internal/mem"
+	"teco/internal/sim"
+)
+
+// WordSize is the data unit DBA operates on: one FP32 parameter.
+const WordSize = 4
+
+// WordsPerLine is the number of FP32 parameters per 64-byte cache line.
+const WordsPerLine = mem.LineSize / WordSize
+
+// Hardware latencies from the paper's Vivado synthesis scaled to ASIC
+// (§VIII-D). End-to-end evaluation charges ModelledLatency per cache line,
+// matching the paper's methodology.
+const (
+	AggregatorLatencyPs    = 1280 // 1.28 ns
+	DisaggregatorLatencyPs = 1126 // 1.126 ns
+	// ModelledLatency is the 1 ns the paper adds per line in simulation.
+	ModelledLatency = sim.Nanosecond
+)
+
+// Register is the 4-bit DBA configuration register: the most significant
+// bit activates DBA, the low three bits hold the dirty-byte length (0-4).
+// The paper's example value 1010b means "active, 2 dirty bytes".
+type Register struct {
+	Active     bool
+	DirtyBytes uint8
+}
+
+// Encode packs the register into its 4-bit hardware representation.
+func (r Register) Encode() uint8 {
+	v := r.DirtyBytes & 0x7
+	if r.Active {
+		v |= 1 << 3
+	}
+	return v
+}
+
+// DecodeRegister unpacks a 4-bit register value.
+func DecodeRegister(v uint8) Register {
+	return Register{Active: v&(1<<3) != 0, DirtyBytes: v & 0x7}
+}
+
+// Validate checks the register holds a usable configuration.
+func (r Register) Validate() error {
+	if r.Active && (r.DirtyBytes == 0 || r.DirtyBytes > 4) {
+		return fmt.Errorf("dba: active register with invalid dirty-byte length %d", r.DirtyBytes)
+	}
+	return nil
+}
+
+// PayloadBytes returns the per-line payload size under this register: 64
+// bytes when inactive, WordsPerLine*DirtyBytes when active (32 bytes for
+// the canonical dirty_bytes=2).
+func (r Register) PayloadBytes() int {
+	if !r.Active {
+		return mem.LineSize
+	}
+	return WordsPerLine * int(r.DirtyBytes)
+}
+
+// Aggregate implements the CPU-side Aggregator (Fig 7a): for each 4-byte
+// word of the 64-byte line, take the least-significant n bytes and
+// concatenate them. The paper implements this with simple logic gates; the
+// Go version is the functional equivalent.
+func Aggregate(line []byte, n int) []byte {
+	if len(line) != mem.LineSize {
+		panic(fmt.Sprintf("dba: aggregate needs a %d-byte line, got %d", mem.LineSize, len(line)))
+	}
+	if n <= 0 || n > WordSize {
+		panic(fmt.Sprintf("dba: invalid dirty-byte length %d", n))
+	}
+	out := make([]byte, 0, WordsPerLine*n)
+	for w := 0; w < WordsPerLine; w++ {
+		base := w * WordSize
+		out = append(out, line[base:base+n]...)
+	}
+	return out
+}
+
+// Disaggregate implements the accelerator-side Disaggregator (Fig 7b): it
+// reads the stale 64-byte line from the giant cache, overwrites the
+// least-significant n bytes of every word with the aggregated payload, and
+// returns the reconstructed line. old is not modified.
+//
+// This is the paper's three-step logic — reset n bytes per word, shift each
+// payload group to its word position, OR the two — expressed byte-wise.
+func Disaggregate(old, payload []byte, n int) []byte {
+	if len(old) != mem.LineSize {
+		panic(fmt.Sprintf("dba: disaggregate needs a %d-byte line, got %d", mem.LineSize, len(old)))
+	}
+	if n <= 0 || n > WordSize {
+		panic(fmt.Sprintf("dba: invalid dirty-byte length %d", n))
+	}
+	if len(payload) != WordsPerLine*n {
+		panic(fmt.Sprintf("dba: payload %dB, want %dB", len(payload), WordsPerLine*n))
+	}
+	out := make([]byte, mem.LineSize)
+	copy(out, old)
+	for w := 0; w < WordsPerLine; w++ {
+		copy(out[w*WordSize:w*WordSize+n], payload[w*n:(w+1)*n])
+	}
+	return out
+}
+
+// Merge applies Disaggregate in place on dst.
+func Merge(dst, payload []byte, n int) {
+	res := Disaggregate(dst, payload, n)
+	copy(dst, res)
+}
+
+// Controller decides when DBA turns on, mirroring TECO's check_activation()
+// API (paper §V-A and Listing 1): DBA activates once the training step
+// reaches ActAfterSteps. The default of 500 is the paper's default.
+type Controller struct {
+	// ActAfterSteps is the `act_aft_steps` hyperparameter.
+	ActAfterSteps int
+	// Register mirrors the hardware DBA register; CheckActivation flips
+	// its Active bit.
+	Register Register
+	// activatedAt records the step DBA switched on (-1 before).
+	activatedAt int
+}
+
+// DefaultActAfterSteps is the paper's default `act_aft_steps`.
+const DefaultActAfterSteps = 500
+
+// DefaultDirtyBytes is the paper's default `dirty_bytes` for DL training.
+const DefaultDirtyBytes = 2
+
+// NewController builds a controller. actAfterSteps < 0 selects the default
+// 500; dirtyBytes <= 0 selects the default 2.
+func NewController(actAfterSteps, dirtyBytes int) *Controller {
+	if actAfterSteps < 0 {
+		actAfterSteps = DefaultActAfterSteps
+	}
+	if dirtyBytes <= 0 {
+		dirtyBytes = DefaultDirtyBytes
+	}
+	return &Controller{
+		ActAfterSteps: actAfterSteps,
+		Register:      Register{Active: false, DirtyBytes: uint8(dirtyBytes)},
+		activatedAt:   -1,
+	}
+}
+
+// CheckActivation is called once per training step (after backward, as in
+// Listing 1). It returns true when DBA is active for the *next* parameter
+// transfer.
+func (c *Controller) CheckActivation(step int) bool {
+	if !c.Register.Active && step >= c.ActAfterSteps {
+		c.Register.Active = true
+		c.activatedAt = step
+	}
+	return c.Register.Active
+}
+
+// Active reports the current activation state.
+func (c *Controller) Active() bool { return c.Register.Active }
+
+// ActivatedAt returns the step DBA switched on, or -1.
+func (c *Controller) ActivatedAt() int { return c.activatedAt }

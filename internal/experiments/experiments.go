@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"fmt"
+
+	"teco/internal/compressbl"
+	"teco/internal/core"
+	"teco/internal/gnn"
+	"teco/internal/md"
+	"teco/internal/modelzoo"
+	"teco/internal/phases"
+	"teco/internal/realtrain"
+	"teco/internal/tensor"
+	"teco/internal/zero"
+)
+
+// RealTrainSteps is the fine-tuning length used by the accuracy
+// experiments (kept moderate so the full suite runs in minutes; increase
+// for tighter statistics).
+const RealTrainSteps = 800
+
+// evalBatches are the batch sizes of Fig 11 / Table IV.
+var evalBatches = []int{4, 8, 16}
+
+// TableI reproduces Table I: percentage of training time spent in
+// communication exposed to the critical path (ZeRO-Offload,
+// Bert-large-cased).
+func TableI() *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Exposed communication share of training time (ZeRO-Offload, Bert-large-cased)",
+		Header: []string{"Batch size", "Paper", "Measured"},
+	}
+	paper := map[int]string{4: "42.24%", 8: "37.87%", 16: "28.65%", 20: "25.95%"}
+	e := zero.NewEngine()
+	m := modelzoo.BertLargeCased()
+	for _, b := range []int{4, 8, 16, 20} {
+		r := e.Step(m, b)
+		t.AddRow(fmt.Sprint(b), paper[b], pct(r.CommFraction()))
+	}
+	t.Note("gradient transfers partially exposed during backward; parameter transfers largely exposed after ADAM")
+	return t
+}
+
+// Fig2 reproduces Figure 2: the distribution of value-changed bytes in
+// parameters (a) and gradients (b) across two consecutive training steps,
+// sampled over a real fine-tuning run.
+func Fig2(seed int64) (params, grads *Table) {
+	r := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed})
+	params = &Table{
+		ID:     "fig2a",
+		Title:  "Value-changed bytes in parameters across consecutive steps",
+		Header: []string{"Step", "Last byte", "Last two bytes", "Other", "Unchanged(all)"},
+	}
+	grads = &Table{
+		ID:     "fig2b",
+		Title:  "Value-changed bytes in gradients across consecutive steps",
+		Header: []string{"Step", "Last byte", "Last two bytes", "Other", "Unchanged(all)"},
+	}
+	for _, s := range r.Samples {
+		if s.Step == 0 {
+			continue
+		}
+		params.AddRow(fmt.Sprint(s.Step),
+			pct(s.ParamDist.FracOfChanged(tensor.LastByte)),
+			pct(s.ParamDist.FracOfChanged(tensor.LastTwoBytes)),
+			pct(s.ParamDist.FracOfChanged(tensor.Other)),
+			pct(s.ParamDist.FracUnchanged()))
+		grads.AddRow(fmt.Sprint(s.Step),
+			pct(s.GradDist.FracOfChanged(tensor.LastByte)),
+			pct(s.GradDist.FracOfChanged(tensor.LastTwoBytes)),
+			pct(s.GradDist.FracOfChanged(tensor.Other)),
+			pct(s.GradDist.FracUnchanged()))
+	}
+	pd, gd := r.AggregateDistributions()
+	params.Note("aggregate: %.1f%% of changed parameters confined to the low two bytes (paper: ~80%% in case 1); %.1f%% of all parameters unchanged (paper: 44.5%%)",
+		100*(pd.FracOfChanged(tensor.LastByte)+pd.FracOfChanged(tensor.LastTwoBytes)), 100*pd.FracUnchanged())
+	grads.Note("aggregate: %.1f%% of changed gradients touch higher bytes (paper: all bytes change frequently)",
+		100*gd.FracOfChanged(tensor.Other))
+	return params, grads
+}
+
+// AblationInvalidation reproduces the §IV-A2 measurement: stock
+// invalidation-based CXL versus the update extension (paper: on-demand
+// transfers cost +56.6% training time on average, up to 99.7% on T5).
+func AblationInvalidation() *Table {
+	t := &Table{
+		ID:     "ablation-inval",
+		Title:  "Update protocol vs stock invalidation MESI (batch 4)",
+		Header: []string{"Model", "Update total", "Invalidation total", "Penalty"},
+	}
+	upd := core.NewEngine(core.Config{})
+	inv := core.NewEngine(core.Config{Invalidation: true})
+	var sum float64
+	var n int
+	for _, m := range modelzoo.EvaluationModels() {
+		b := batchFor(m, 4)
+		ru := upd.Step(m, b)
+		ri := inv.Step(m, b)
+		pen := float64(ri.Total())/float64(ru.Total()) - 1
+		sum += pen
+		n++
+		t.AddRow(m.Name, ms(ru.Total().Milliseconds()), ms(ri.Total().Milliseconds()), pct(pen))
+	}
+	t.Note("average penalty %.1f%% (paper: 56.6%% average, up to 99.7%%)", 100*sum/float64(n))
+	return t
+}
+
+func batchFor(m modelzoo.Model, b int) int {
+	if m.FullGraphOnly {
+		return 1
+	}
+	return b
+}
+
+// Fig11TableIV reproduces Figure 11 and Table IV: training-time speedup of
+// TECO-CXL and TECO-Reduction over ZeRO-Offload per model and batch size.
+func Fig11TableIV() *Table {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Speedup over ZeRO-Offload (Fig 11 / Table IV)",
+		Header: []string{"Model", "Batch", "TECO-CXL", "TECO-Reduction", "Paper (Reduction)"},
+	}
+	paper := map[string]map[int]string{
+		"GPT2":              {4: "1.82x", 8: "1.52x", 16: "1.32x"},
+		"Albert-xxlarge-v1": {4: "1.25x", 8: "1.23x", 16: "1.08x"},
+		"Bert-large-cased":  {4: "1.6x", 8: "1.62x", 16: "1.41x"},
+		"T5-large":          {4: "1.73x", 8: "1.58x", 16: "OOM"},
+	}
+	base := zero.NewEngine()
+	cxlE := core.NewEngine(core.Config{})
+	redE := core.NewEngine(core.Config{DBA: true})
+	for _, m := range modelzoo.EvaluationModels() {
+		batches := evalBatches
+		if m.FullGraphOnly {
+			batches = []int{1}
+		}
+		for _, b := range batches {
+			pv := "-"
+			if pm, ok := paper[m.Name]; ok {
+				if v, ok := pm[b]; ok {
+					pv = v
+				}
+			}
+			if !m.FullGraphOnly && !m.FitsOnV100(b) {
+				// The memory model reproduces the paper's T5 batch-16
+				// out-of-memory on the 32GB V100.
+				t.AddRow(m.Name, fmt.Sprint(b), "OOM", "OOM", pv)
+				continue
+			}
+			rb := base.Step(m, b)
+			t.AddRow(m.Name, fmt.Sprint(b),
+				f2(cxlE.Step(m, b).Speedup(rb))+"x",
+				f2(redE.Step(m, b).Speedup(rb))+"x",
+				pv)
+		}
+	}
+	t.Note("GCNII runs full-graph (batch column = 1); T5-large batch 16 OOMs on the paper's 32GB V100")
+	return t
+}
+
+// TableV reproduces Table V: final model quality with and without
+// TECO-Reduction, on the real fine-tuning proxy (accuracy and a
+// perplexity-style metric).
+func TableV(seed int64) *Table {
+	t := &Table{
+		ID:     "table5",
+		Title:  "Final model quality, original vs TECO-Reduction (real fine-tuning proxy)",
+		Header: []string{"Proxy run", "Metric", "Original", "TECO-Reduction"},
+	}
+	// One proxy run per evaluated model (different seeds play the role of
+	// the different fine-tuning tasks).
+	names := []string{"GPT2", "Albert-xxlarge-v1", "Bert-large-cased", "T5-large"}
+	for i, name := range names {
+		s := seed + int64(i)*100
+		base := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: s})
+		red := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: s, DBA: true, ActAfterSteps: RealTrainSteps / 2})
+		t.AddRow(name, "Accuracy", pct(base.FinalAcc), pct(red.FinalAcc))
+		t.AddRow(name, "Perplexity", f2(base.Perplexity), f2(red.Perplexity))
+	}
+	// GCNII: real full-graph GNN training (paper reports 54.90 original,
+	// N/A for TECO-Reduction — we run both anyway).
+	gBase := gnn.Train(gnn.TrainConfig{Epochs: 200, Seed: seed})
+	gRed := gnn.Train(gnn.TrainConfig{Epochs: 200, Seed: seed, DBA: true, ActAfterSteps: 100})
+	t.AddRow("GCNII", "Accuracy", pct(gBase.TestAcc), pct(gRed.TestAcc))
+	t.Note("paper Table V reports task-specific metrics (e.g. Bert 93.13 -> 91.99 accuracy, GCNII 54.90); the proxy reproduces the property that DBA costs at most a small quality delta")
+	return t
+}
+
+// Fig10 reproduces Figure 10: training loss curves with and without
+// TECO-Reduction.
+func Fig10(seed int64) *Table {
+	base := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed})
+	red := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed, DBA: true, ActAfterSteps: RealTrainSteps / 4})
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Training loss curves (original vs TECO-Reduction)",
+		Header: []string{"Step", "Original loss", "TECO-Reduction loss"},
+	}
+	bs, bl := base.LossCurve()
+	_, rl := red.LossCurve()
+	for i := range bs {
+		if i >= len(rl) {
+			break
+		}
+		t.AddRow(fmt.Sprint(bs[i]), fmt.Sprintf("%.4f", bl[i]), fmt.Sprintf("%.4f", rl[i]))
+	}
+	t.Note("curves follow the same trend and converge in the same number of steps (paper Fig 10)")
+	return t
+}
+
+// Fig12 reproduces Figure 12: the time breakdown for T5-large across batch
+// sizes and systems.
+func Fig12() *Table {
+	t := &Table{
+		ID:    "fig12",
+		Title: "Time breakdown, T5-large (Fig 12)",
+		Header: []string{"Batch", "System", "Fwd+Bwd", "Grad xfer (exposed)", "Clip",
+			"ADAM", "Param xfer (exposed)", "Total"},
+	}
+	m := modelzoo.T5Large()
+	engines := []struct {
+		name string
+		step func(modelzoo.Model, int) phases.StepResult
+	}{
+		{"ZeRO-Offload", func(m modelzoo.Model, b int) phases.StepResult { return zero.NewEngine().Step(m, b) }},
+		{"TECO-CXL", func(m modelzoo.Model, b int) phases.StepResult { return core.NewEngine(core.Config{}).Step(m, b) }},
+		{"TECO-Reduction", func(m modelzoo.Model, b int) phases.StepResult {
+			return core.NewEngine(core.Config{DBA: true}).Step(m, b)
+		}},
+	}
+	for _, b := range []int{4, 8} {
+		for _, e := range engines {
+			r := e.step(m, b)
+			t.AddRow(fmt.Sprint(b), e.name,
+				ms((r.Fwd + r.Bwd).Milliseconds()),
+				ms(r.Grad.Milliseconds()),
+				ms(r.Clip.Milliseconds()),
+				ms(r.Adam.Milliseconds()),
+				ms(r.Prm.Milliseconds()),
+				ms(r.Total().Milliseconds()))
+		}
+	}
+	t.Note("paper: gradients fully hidden at batch 8; TECO-CXL cuts exposed parameter time (~76%% at batch 4); DBA hides it completely")
+	return t
+}
+
+// CommVolume reproduces §VIII-C: per-direction communication volume and
+// the exposed-communication reduction.
+func CommVolume() *Table {
+	t := &Table{
+		ID:    "volume",
+		Title: "Communication volume and exposed-time reduction (batch 4)",
+		Header: []string{"Model", "Param bytes (ZeRO)", "Param bytes (TECO-R)",
+			"Grad bytes", "Comm-time reduction"},
+	}
+	base := zero.NewEngine()
+	red := core.NewEngine(core.Config{DBA: true})
+	var sum float64
+	var n int
+	gb := func(v int64) string { return fmt.Sprintf("%.2fGB", float64(v)/1e9) }
+	for _, m := range modelzoo.EvaluationModels() {
+		b := batchFor(m, 4)
+		rb := base.Step(m, b)
+		rr := red.Step(m, b)
+		redn := rr.CommReduction(rb)
+		sum += redn
+		n++
+		t.AddRow(m.Name, gb(rb.ParamLinkBytes), gb(rr.ParamLinkBytes), gb(rr.GradLinkBytes), pct(redn))
+	}
+	t.Note("average exposed-communication reduction %.1f%% (paper: 93.7%% average, up to 100%%); DBA halves parameter volume, gradients are not DBA'd", 100*sum/float64(n))
+	return t
+}
+
+// TableVI reproduces Table VI: TECO effectiveness across GPT-2 scales.
+func TableVI() *Table {
+	t := &Table{
+		ID:     "table6",
+		Title:  "Impact of model size (GPT-2 scales, batch 4)",
+		Header: []string{"Model", "ZeRO-Offload", "TECO-CXL", "TECO-Reduction", "Paper (CXL/Red)"},
+	}
+	paper := map[string]string{
+		"GPT2": "1.55x/1.82x", "GPT2-Medium": "1.54x/1.64x",
+		"GPT2-Large": "1.67x/1.79x", "GPT2-11B": "1.29x/1.41x",
+	}
+	base := zero.NewEngine()
+	cxlE := core.NewEngine(core.Config{})
+	redE := core.NewEngine(core.Config{DBA: true})
+	for _, m := range modelzoo.SensitivityModels() {
+		rb := base.Step(m, 4)
+		t.AddRow(m.Name, "1x",
+			f2(cxlE.Step(m, 4).Speedup(rb))+"x",
+			f2(redE.Step(m, 4).Speedup(rb))+"x",
+			paper[m.Name])
+	}
+	t.Note("the 11B configuration is compute-dominated (paper: computation is 63.4%% of total), so its speedup is the smallest")
+	return t
+}
+
+// Fig13 reproduces Figure 13: model quality and speedup versus
+// `act_aft_steps`.
+func Fig13(seed int64) *Table {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "DBA activation step sweep (quality vs speedup, GPT-2 proxy)",
+		Header: []string{"act_aft_steps", "Perplexity", "Accuracy", "Speedup vs ZeRO"},
+	}
+	m := modelzoo.GPT2()
+	base := zero.NewEngine().Step(m, 4)
+	cxlStep := core.NewEngine(core.Config{}).Step(m, 4).Total()
+	dbaStep := core.NewEngine(core.Config{DBA: true}).Step(m, 4).Total()
+	total := RealTrainSteps
+	for _, act := range []int{0, total / 8, total / 4, total / 2, 3 * total / 4, total} {
+		r := realtrain.Run(realtrain.Config{Steps: total, Seed: seed, DBA: true, ActAfterSteps: act})
+		// Average step time: CXL-only before activation, DBA after.
+		avg := (float64(cxlStep)*float64(act) + float64(dbaStep)*float64(total-act)) / float64(total)
+		sp := float64(base.Total()) / avg
+		t.AddRow(fmt.Sprint(act), f2(r.Perplexity), pct(r.FinalAcc), f2(sp)+"x")
+	}
+	t.Note("paper Fig 13: accuracy 22.50-21.21, speedup 1.63x-1.15x across activation points; act_aft_steps=500 strikes the balance")
+	return t
+}
+
+// AblationDPU compares ZeRO-Offload with and without the one-step delayed
+// parameter update, and TECO-Reduction against both — the §II-A argument
+// that DPU only helps at large batches (where there is little left to hide)
+// while TECO wins exactly where memory pressure forces small batches.
+func AblationDPU() *Table {
+	t := &Table{
+		ID:     "ablation-dpu",
+		Title:  "DPU ablation (Bert-large-cased)",
+		Header: []string{"Batch", "ZeRO-Offload", "ZeRO+DPU", "TECO-Reduction", "TECO vs DPU"},
+	}
+	e := zero.NewEngine()
+	red := core.NewEngine(core.Config{DBA: true})
+	m := modelzoo.BertLargeCased()
+	for _, b := range []int{4, 8, 16, 20} {
+		plain := e.Step(m, b)
+		dpu := e.StepDPU(m, b)
+		teco := red.Step(m, b)
+		t.AddRow(fmt.Sprint(b),
+			ms(plain.Total().Milliseconds()),
+			ms(dpu.Total().Milliseconds()),
+			ms(teco.Total().Milliseconds()),
+			f2(float64(dpu.Total())/float64(teco.Total()))+"x")
+	}
+	t.Note("DPU hides the CPU chain only once GPU arithmetic intensity is high (paper §II-A); it also risks changing convergence, which TECO avoids")
+	return t
+}
+
+// TableVII reproduces Table VII: ZeroQuant-style lossy compression vs
+// TECO-Reduction on Bert-base / GLUE-MNLI.
+func TableVII() *Table {
+	t := &Table{
+		ID:     "table7",
+		Title:  "Lossy compression (ZeroQuant-style) vs TECO-Reduction",
+		Header: []string{"System", "Task", "Model", "Time (hours)", "Paper"},
+	}
+	row := compressbl.ZeroQuant(modelzoo.BertBaseUncased(), 32, compressbl.GLUEMNLISteps(32))
+	t.AddRow("Zero-Quant", row.Task, row.Model, f2(row.ZeroQuantHours), "5.8")
+	t.AddRow("TECO-Reduction", row.Task, row.Model, f2(row.TECOHours), "2.03")
+	t.Note("measured slowdown %.2fx (paper: 2.87x): the quantized model needs a full-precision teacher forward every step", row.Slowdown)
+	return t
+}
+
+// TableVIII reproduces Table VIII: the lossless LZ4 transfer pipeline.
+func TableVIII(seed int64) *Table {
+	t := &Table{
+		ID:     "table8",
+		Title:  "Lossless compression (LZ4) pipeline, normalized to TECO-Reduction",
+		Header: []string{"Model", "Compression ratio", "Paper ratio", "Normalized time", "Paper time"},
+	}
+	paperRatio := map[string]string{"GPT2": "5%", "Albert-xxlarge-v1": "0%", "Bert-large-cased": "0%", "T5-large": "36%"}
+	paperTime := map[string]string{"GPT2": "4.51", "Albert-xxlarge-v1": "1.95", "Bert-large-cased": "3.03", "T5-large": "2.04"}
+	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.AlbertXXLarge(), modelzoo.BertLargeCased(), modelzoo.T5Large()} {
+		row := compressbl.LosslessCompression(m, 4, seed)
+		t.AddRow(m.Name, pct(row.Ratio), paperRatio[m.Name], f2(row.Normalized), paperTime[m.Name])
+	}
+	t.Note("compression ratios measured with the from-scratch LZ4 on synthetic parameter snapshots; the pipeline is at least ~2x slower than TECO everywhere (paper's conclusion)")
+	return t
+}
+
+// LAMMPS reproduces the §VII generality study on the Lennard-Jones melt.
+func LAMMPS() *Table {
+	t := &Table{
+		ID:     "lammps",
+		Title:  "Generality: LAMMPS-style LJ melt with offloaded force kernel (4M atoms)",
+		Header: []string{"Metric", "Measured", "Paper"},
+	}
+	r := md.Generality(4_000_000)
+	t.AddRow("Baseline comm fraction", pct(r.CommFraction), "27%")
+	t.AddRow("Total improvement", pct(r.Improvement), "21.5%")
+	t.AddRow("CXL contribution", pct(r.CXLContribution), "78%")
+	t.AddRow("DBA contribution", pct(r.DBAContribution), "22%")
+	t.AddRow("Volume reduction (DBA)", pct(r.VolumeReduction), "17%")
+
+	// Physics-level validation: the melt tolerates the dirty-byte path.
+	exact := md.RunOffloaded(md.NewSystem(md.Config{Seed: 1}), 200, 0.004, 4)
+	dba3 := md.RunOffloaded(md.NewSystem(md.Config{Seed: 1}), 200, 0.004, md.MDDirtyBytes)
+	t.AddRow("Energy drift (exact transfers)", fmt.Sprintf("%.4f", exact), "-")
+	t.AddRow("Energy drift (dirty-byte path)", fmt.Sprintf("%.4f", dba3), "-")
+	t.Note("positions cross the link as fixed-binade scaled coordinates, making the 3-dirty-byte merge well-conditioned (see internal/md)")
+	return t
+}
+
+// All runs every experiment and returns the tables in paper order.
+func All(seed int64) []*Table {
+	f2a, f2b := Fig2(seed)
+	return []*Table{
+		TableI(),
+		f2a, f2b,
+		AblationInvalidation(),
+		Fig11TableIV(),
+		TableV(seed),
+		Fig10(seed),
+		Fig12(),
+		CommVolume(),
+		TableVI(),
+		Fig13(seed),
+		TableVII(),
+		TableVIII(seed),
+		LAMMPS(),
+	}
+}
+
+// ByID runs a single experiment by its id; Fig2 returns two tables.
+func ByID(id string, seed int64) ([]*Table, error) {
+	switch id {
+	case "table1":
+		return []*Table{TableI()}, nil
+	case "fig2", "fig2a", "fig2b":
+		a, b := Fig2(seed)
+		return []*Table{a, b}, nil
+	case "ablation-inval":
+		return []*Table{AblationInvalidation()}, nil
+	case "fig11", "table4":
+		return []*Table{Fig11TableIV()}, nil
+	case "table5":
+		return []*Table{TableV(seed)}, nil
+	case "fig10":
+		return []*Table{Fig10(seed)}, nil
+	case "fig12":
+		return []*Table{Fig12()}, nil
+	case "volume":
+		return []*Table{CommVolume()}, nil
+	case "table6":
+		return []*Table{TableVI()}, nil
+	case "fig13":
+		return []*Table{Fig13(seed)}, nil
+	case "table7":
+		return []*Table{TableVII()}, nil
+	case "table8":
+		return []*Table{TableVIII(seed)}, nil
+	case "lammps":
+		return []*Table{LAMMPS()}, nil
+	case "tune-act":
+		return []*Table{TuneActAfterSteps(seed)}, nil
+	case "ablation-dpu":
+		return []*Table{AblationDPU()}, nil
+	case "time-to-loss":
+		return []*Table{TimeToLoss(seed)}, nil
+	case "linkspeed":
+		return []*Table{LinkSpeedSweep()}, nil
+	case "all":
+		return All(seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+}
+
+// IDs lists the runnable experiment ids.
+func IDs() []string {
+	return []string{"table1", "fig2", "ablation-inval", "fig11", "table5", "fig10",
+		"fig12", "volume", "table6", "fig13", "table7", "table8", "lammps",
+		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "all"}
+}

@@ -1,0 +1,88 @@
+// Package gpusim is the Accel-Sim stand-in: a calibrated V100 timing model
+// producing per-phase kernel times and the schedule on which backward
+// propagation emits gradient cache lines (the writeback stream the paper's
+// modified Accel-Sim transfers over CXL, §VIII-A).
+package gpusim
+
+import (
+	"fmt"
+
+	"teco/internal/modelzoo"
+	"teco/internal/sim"
+)
+
+// GPU is a V100-class timing model.
+type GPU struct {
+	// EffectiveFLOPS is sustained training throughput.
+	EffectiveFLOPS float64
+	// LaunchOverheadPerLayer is the fixed per-layer cost per step.
+	LaunchOverheadPerLayer sim.Time
+	// BackwardFraction is backward's share of fwd+bwd time.
+	BackwardFraction float64
+}
+
+// V100 returns the calibrated default model.
+func V100() *GPU {
+	return &GPU{
+		EffectiveFLOPS:         modelzoo.GPUEffectiveFLOPS,
+		LaunchOverheadPerLayer: sim.FromSeconds(modelzoo.GPULaunchOverheadPerLayerMs / 1e3),
+		BackwardFraction:       modelzoo.BackwardFraction,
+	}
+}
+
+// StepComputeTime returns total fwd+bwd time for one training step.
+func (g *GPU) StepComputeTime(m modelzoo.Model, batch int) sim.Time {
+	if batch <= 0 && !m.FullGraphOnly {
+		panic(fmt.Sprintf("gpusim: batch %d", batch))
+	}
+	flopsTime := sim.FromSeconds(m.StepFLOPs(batch) / g.EffectiveFLOPS)
+	fixed := sim.Time(int64(m.Layers)) * g.LaunchOverheadPerLayer
+	return flopsTime + fixed
+}
+
+// ForwardTime returns the forward-pass time.
+func (g *GPU) ForwardTime(m modelzoo.Model, batch int) sim.Time {
+	total := g.StepComputeTime(m, batch)
+	return total - g.BackwardTime(m, batch)
+}
+
+// BackwardTime returns the backward-pass time.
+func (g *GPU) BackwardTime(m modelzoo.Model, batch int) sim.Time {
+	total := g.StepComputeTime(m, batch)
+	return sim.Time(float64(total) * g.BackwardFraction)
+}
+
+// GradChunk is a block of gradients becoming available during backward.
+type GradChunk struct {
+	// ReadyAt is the offset from the start of backward at which the
+	// chunk's last gradient is produced.
+	ReadyAt sim.Time
+	// Bytes is the chunk's transfer volume.
+	Bytes int64
+	// Layer is the producing layer (layers finish in reverse order).
+	Layer int
+}
+
+// GradientSchedule returns per-layer gradient chunks: layer L-1 finishes
+// first (backward walks the model in reverse), each layer producing an
+// equal parameter share at an equally spaced point of the backward pass.
+// The final chunk lands exactly at BackwardTime.
+func (g *GPU) GradientSchedule(m modelzoo.Model, batch int) []GradChunk {
+	bwd := g.BackwardTime(m, batch)
+	n := m.Layers
+	per := m.GradBytes() / int64(n)
+	rem := m.GradBytes() - per*int64(n)
+	chunks := make([]GradChunk, 0, n)
+	for i := 0; i < n; i++ {
+		b := per
+		if i == n-1 {
+			b += rem
+		}
+		chunks = append(chunks, GradChunk{
+			ReadyAt: sim.Time(int64(bwd) * int64(i+1) / int64(n)),
+			Bytes:   b,
+			Layer:   n - 1 - i,
+		})
+	}
+	return chunks
+}

@@ -1,0 +1,100 @@
+package gpusim
+
+import (
+	"testing"
+
+	"teco/internal/modelzoo"
+	"teco/internal/sim"
+)
+
+func TestStepComputeTimeScaling(t *testing.T) {
+	g := V100()
+	m := modelzoo.BertLargeCased()
+	t4 := g.StepComputeTime(m, 4)
+	t8 := g.StepComputeTime(m, 8)
+	// Affine in batch: fixed launch overhead + linear FLOPs term.
+	fixed := sim.Time(int64(m.Layers)) * g.LaunchOverheadPerLayer
+	lin4, lin8 := t4-fixed, t8-fixed
+	if diff := lin8 - 2*lin4; diff < -10 || diff > 10 { // ps-level rounding only
+		t.Fatalf("flops term not linear: t4=%v t8=%v fixed=%v", t4, t8, fixed)
+	}
+	if t8 >= 2*t4 {
+		t.Fatal("fixed overhead must make small batches relatively slower")
+	}
+}
+
+// TestBertCalibration keeps the Table I calibration honest: Bert-large at
+// batch 4 should take ~90-100 ms of fwd+bwd on the modelled V100.
+func TestBertCalibration(t *testing.T) {
+	g := V100()
+	m := modelzoo.BertLargeCased()
+	got := g.StepComputeTime(m, 4).Milliseconds()
+	if got < 70 || got > 130 {
+		t.Fatalf("Bert-large b4 compute = %.1fms, calibration drifted", got)
+	}
+}
+
+func TestForwardBackwardSplit(t *testing.T) {
+	g := V100()
+	m := modelzoo.GPT2()
+	total := g.StepComputeTime(m, 8)
+	fwd := g.ForwardTime(m, 8)
+	bwd := g.BackwardTime(m, 8)
+	if fwd+bwd != total {
+		t.Fatalf("fwd %v + bwd %v != total %v", fwd, bwd, total)
+	}
+	// Backward ~2x forward.
+	ratio := float64(bwd) / float64(fwd)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("bwd/fwd = %.2f, want ~2", ratio)
+	}
+}
+
+func TestBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	V100().StepComputeTime(modelzoo.GPT2(), 0)
+}
+
+func TestGCNIIBatchIndependent(t *testing.T) {
+	g := V100()
+	m := modelzoo.GCNII()
+	if g.StepComputeTime(m, 0) != g.StepComputeTime(m, 99) {
+		t.Fatal("full-graph model must ignore batch")
+	}
+}
+
+func TestGradientSchedule(t *testing.T) {
+	g := V100()
+	m := modelzoo.BertLargeCased()
+	chunks := g.GradientSchedule(m, 4)
+	if len(chunks) != m.Layers {
+		t.Fatalf("%d chunks, want %d", len(chunks), m.Layers)
+	}
+	var total int64
+	bwd := g.BackwardTime(m, 4)
+	prev := sim.Time(-1)
+	for i, c := range chunks {
+		total += c.Bytes
+		if c.ReadyAt <= prev {
+			t.Fatalf("chunk %d not monotonically later", i)
+		}
+		prev = c.ReadyAt
+		if c.ReadyAt > bwd {
+			t.Fatalf("chunk %d ready after backward ends", i)
+		}
+	}
+	if total != m.GradBytes() {
+		t.Fatalf("chunk bytes %d != grad bytes %d", total, m.GradBytes())
+	}
+	// Backward visits layers in reverse: first chunk is the last layer.
+	if chunks[0].Layer != m.Layers-1 || chunks[len(chunks)-1].Layer != 0 {
+		t.Fatal("layer order must be reversed")
+	}
+	if chunks[len(chunks)-1].ReadyAt != bwd {
+		t.Fatal("last chunk must land exactly at backward end")
+	}
+}

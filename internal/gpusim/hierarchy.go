@@ -1,0 +1,86 @@
+package gpusim
+
+import (
+	"teco/internal/cache"
+	"teco/internal/mem"
+	"teco/internal/modelzoo"
+	"teco/internal/sim"
+	"teco/internal/trace"
+)
+
+// GradientHierarchySim is the Accel-Sim-side counterpart of
+// cpusim.HierarchySim: "Accel-Sim is modified to transfer the updated
+// gradients over CXL whenever the corresponding cache line is written back
+// to the giant cache region in GPU memory" (§VIII-A). Backward writes each
+// gradient line once, interleaved with activation traffic that pressures
+// the GPU L2; dirty gradient lines surface as timed writebacks when the L2
+// evicts them, plus the end-of-backward flush that CXLFENCE waits on.
+type GradientHierarchySim struct {
+	L2 *cache.Cache
+	// ActivationAccessesPerLine is the number of activation-region L2
+	// accesses interleaved per gradient line (capacity pressure).
+	ActivationAccessesPerLine int
+	now                       sim.Time
+}
+
+// V100L2 returns the V100's 6 MB, 16-way L2 geometry.
+func V100L2() cache.Config {
+	return cache.Config{Name: "gpu-L2", SizeBytes: 6 << 20, Ways: 16}
+}
+
+// NewGradientHierarchySim builds the model with V100 L2 geometry.
+func NewGradientHierarchySim() *GradientHierarchySim {
+	return &GradientHierarchySim{L2: cache.New(V100L2()), ActivationAccessesPerLine: 8}
+}
+
+// Now returns the simulated GPU time.
+func (g *GradientHierarchySim) Now() sim.Time { return g.now }
+
+// RunBackward simulates the backward pass of model m at the given batch:
+// layers complete in reverse order on the GPU compute schedule; each
+// layer's gradient lines are written into the giant-cache region through
+// the L2. It returns the timed trace of gradient-region writebacks.
+func (g *GradientHierarchySim) RunBackward(gpu *GPU, m modelzoo.Model, batch int, gradRegion mem.Region) *trace.Trace {
+	tr := &trace.Trace{}
+	amapIn := func(l mem.LineAddr) bool { return gradRegion.ContainsLine(l) }
+	// Activation region: addresses far above the gradient region.
+	actBase := gradRegion.End().Line() + 1<<20
+
+	record := func(ev cache.Eviction, evicted bool) {
+		if evicted && ev.Dirty && amapIn(ev.Addr) {
+			tr.Append(g.now, trace.Store, ev.Addr)
+		}
+	}
+
+	chunks := gpu.GradientSchedule(m, batch)
+	next := gradRegion.Base.Line()
+	var prevReady sim.Time
+	actCursor := mem.LineAddr(0)
+	for _, ch := range chunks {
+		lines := mem.LinesIn(ch.Bytes)
+		window := ch.ReadyAt - prevReady
+		for i := int64(0); i < lines; i++ {
+			// Time advances uniformly across the layer's window.
+			g.now = prevReady + sim.Time(int64(window)*(i+1)/lines)
+			// Activation traffic pressures the L2 between gradient
+			// writes (streaming, never reused -> pure pollution).
+			for a := 0; a < g.ActivationAccessesPerLine; a++ {
+				_, ev, evd := g.L2.Access(actBase+actCursor, a%4 == 0)
+				record(ev, evd)
+				actCursor++
+			}
+			_, ev, evd := g.L2.Access(next, true)
+			record(ev, evd)
+			next++
+		}
+		prevReady = ch.ReadyAt
+	}
+	// End-of-backward flush: CXLFENCE drains the remaining dirty
+	// gradient lines.
+	for _, ev := range g.L2.FlushAll() {
+		if ev.Dirty && amapIn(ev.Addr) {
+			tr.Append(g.now, trace.Store, ev.Addr)
+		}
+	}
+	return tr
+}

@@ -1,0 +1,157 @@
+package md
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ComputeForcesParallel evaluates the LJ forces with a worker pool,
+// partitioning home cells across workers. Each worker accumulates into a
+// private force array and a private potential sum (Newton's-third-law
+// writes to neighbour-slab particles never race), followed by a parallel
+// reduction — share memory by communicating the slab indices, not by
+// locking the force array. workers <= 0 selects GOMAXPROCS.
+//
+// The result is numerically equivalent to ComputeForces up to FP32
+// summation-order differences.
+func (s *System) ComputeForcesParallel(pos []Vec3, workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return s.ComputeForces(pos)
+	}
+	// Build the cell lists serially (cheap, O(N)).
+	s.buildCells()
+	for i := 0; i < s.N; i++ {
+		s.cells[s.cellIndexOf(pos[i])] = append(s.cells[s.cellIndexOf(pos[i])], int32(i))
+	}
+	cps := s.cellsPerSide
+	if workers > cps {
+		workers = cps
+	}
+
+	cut2 := float64(s.Cutoff) * float64(s.Cutoff)
+	box := float64(s.Box)
+	half := box / 2
+	cellAt := func(x, y, z int) []int32 {
+		x = (x%cps + cps) % cps
+		y = (y%cps + cps) % cps
+		z = (z%cps + cps) % cps
+		return s.cells[(x*cps+y)*cps+z]
+	}
+
+	forces := make([][]Vec3, workers)
+	pots := make([]float64, workers)
+	slabs := make(chan int, cps)
+	for cx := 0; cx < cps; cx++ {
+		slabs <- cx
+	}
+	close(slabs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		forces[w] = make([]Vec3, s.N)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := forces[w]
+			var pot float64
+			for cx := range slabs {
+				for cy := 0; cy < cps; cy++ {
+					for cz := 0; cz < cps; cz++ {
+						home := cellAt(cx, cy, cz)
+						for dx := -1; dx <= 1; dx++ {
+							for dy := -1; dy <= 1; dy++ {
+								for dz := -1; dz <= 1; dz++ {
+									nb := cellAt(cx+dx, cy+dy, cz+dz)
+									for _, iIdx := range home {
+										for _, jIdx := range nb {
+											if jIdx <= iIdx {
+												continue
+											}
+											i, j := int(iIdx), int(jIdx)
+											ddx := float64(pos[i].X - pos[j].X)
+											ddy := float64(pos[i].Y - pos[j].Y)
+											ddz := float64(pos[i].Z - pos[j].Z)
+											if ddx > half {
+												ddx -= box
+											} else if ddx < -half {
+												ddx += box
+											}
+											if ddy > half {
+												ddy -= box
+											} else if ddy < -half {
+												ddy += box
+											}
+											if ddz > half {
+												ddz -= box
+											} else if ddz < -half {
+												ddz += box
+											}
+											r2 := ddx*ddx + ddy*ddy + ddz*ddz
+											if r2 >= cut2 || r2 == 0 {
+												continue
+											}
+											inv2 := 1 / r2
+											inv6 := inv2 * inv2 * inv2
+											ff := 24 * inv2 * inv6 * (2*inv6 - 1)
+											pot += 4 * inv6 * (inv6 - 1)
+											fx := float32(ff * ddx)
+											fy := float32(ff * ddy)
+											fz := float32(ff * ddz)
+											f[i].X += fx
+											f[i].Y += fy
+											f[i].Z += fz
+											f[j].X -= fx
+											f[j].Y -= fy
+											f[j].Z -= fz
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			pots[w] = pot
+		}()
+	}
+	wg.Wait()
+
+	// Parallel reduction over particle ranges.
+	var rg sync.WaitGroup
+	chunk := (s.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > s.N {
+			hi = s.N
+		}
+		if lo >= hi {
+			break
+		}
+		rg.Add(1)
+		go func(lo, hi int) {
+			defer rg.Done()
+			for i := lo; i < hi; i++ {
+				var fx, fy, fz float32
+				for _, f := range forces {
+					fx += f[i].X
+					fy += f[i].Y
+					fz += f[i].Z
+				}
+				s.Force[i] = Vec3{X: fx, Y: fy, Z: fz}
+			}
+		}(lo, hi)
+	}
+	rg.Wait()
+
+	var pot float64
+	for _, p := range pots {
+		pot += p
+	}
+	s.Potential = pot
+	return pot
+}

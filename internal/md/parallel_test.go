@@ -1,0 +1,54 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		s1 := NewSystem(Config{CellsPerSide: 4, Seed: 21})
+		s2 := NewSystem(Config{CellsPerSide: 4, Seed: 21})
+		p1 := s1.ComputeForces(s1.Pos)
+		p2 := s2.ComputeForcesParallel(s2.Pos, workers)
+		if math.Abs(p1-p2) > 1e-6*math.Abs(p1) {
+			t.Fatalf("workers=%d: potential %v vs %v", workers, p2, p1)
+		}
+		for i := range s1.Force {
+			d := math.Abs(float64(s1.Force[i].X-s2.Force[i].X)) +
+				math.Abs(float64(s1.Force[i].Y-s2.Force[i].Y)) +
+				math.Abs(float64(s1.Force[i].Z-s2.Force[i].Z))
+			if d > 1e-3 {
+				t.Fatalf("workers=%d particle %d: force diff %g", workers, i, d)
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	s := NewSystem(Config{Seed: 22})
+	p := s.ComputeForcesParallel(s.Pos, 1)
+	if p == 0 {
+		t.Fatal("potential must be nonzero")
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	s := NewSystem(Config{Seed: 23})
+	s.ComputeForcesParallel(s.Pos, 0) // GOMAXPROCS; must not panic or race
+}
+
+// TestParallelEnergyConservation: the parallel kernel drives the same
+// stable dynamics.
+func TestParallelEnergyConservation(t *testing.T) {
+	s := NewSystem(Config{Seed: 24})
+	s.ComputeForcesParallel(s.Pos, 4)
+	e0 := s.TotalEnergy()
+	for step := 0; step < 100; step++ {
+		s.VerletStep(0.004, func() { s.ComputeForcesParallel(s.Pos, 4) })
+	}
+	drift := math.Abs(s.TotalEnergy()-e0) / math.Abs(e0)
+	if drift > 0.02 {
+		t.Fatalf("drift %v with parallel kernel", drift)
+	}
+}

@@ -1,0 +1,41 @@
+package mem
+
+import "fmt"
+
+// Resizable Base Address Register (BAR) support: TECO configures the giant
+// cache "using resizable Base Address Register (BAR), which enables faster
+// communication between host CPU and PCIe devices by mapping configurable
+// memory regions of the devices to the system memory map. Once the size is
+// set, that amount of space is separately marked as the giant cache"
+// (paper §IV-A1). PCIe resizable BARs come in power-of-two sizes.
+
+// BARSizeFor returns the smallest power-of-two BAR size covering bytes
+// (minimum 1 MiB, the smallest resizable-BAR granularity).
+func BARSizeFor(bytes int64) int64 {
+	const minBAR = 1 << 20
+	if bytes <= minBAR {
+		return minBAR
+	}
+	sz := int64(minBAR)
+	for sz < bytes {
+		sz <<= 1
+	}
+	return sz
+}
+
+// ConfigureGiantCacheBAR maps a giant-cache region of at least `bytes`
+// bytes through a resizable BAR, verifying the BAR fits within the device's
+// memory alongside a reserve for non-coherent allocations. The configured
+// size "does not change during the DL training" — reconfiguration means
+// building a new map.
+func (m *Map) ConfigureGiantCacheBAR(name string, bytes, deviceMemory, deviceReserve int64) (Region, error) {
+	if bytes <= 0 {
+		return Region{}, fmt.Errorf("mem: giant cache of %d bytes", bytes)
+	}
+	bar := BARSizeFor(bytes)
+	if bar+deviceReserve > deviceMemory {
+		return Region{}, fmt.Errorf("mem: BAR of %d bytes plus reserve %d exceeds device memory %d",
+			bar, deviceReserve, deviceMemory)
+	}
+	return m.Allocate(name, RegionGiantCache, bar), nil
+}

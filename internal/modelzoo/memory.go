@@ -1,0 +1,62 @@
+package modelzoo
+
+// GPU memory-footprint model. ZeRO-Offload keeps all FP32 parameters and a
+// gradient buffer on the GPU plus the activations of the current batch;
+// the paper's V100 has 32 GB, which is why "we cannot evaluate T5-large
+// with ZeRO-Offload when the batch size is 16, because it leads to an
+// out-of-memory error".
+const (
+	// V100MemoryBytes is the evaluation GPU's capacity.
+	V100MemoryBytes = 32 << 30
+
+	// ActivationWordsPerHidden approximates the activation footprint per
+	// (token, layer) in units of hidden-size FP32 words: attention/MLP
+	// intermediates kept for backward (~28 words per hidden element with
+	// standard checkpointing-free implementations).
+	ActivationWordsPerHidden = 28
+
+	// CUDARuntimeReserveBytes covers context, workspace, and fragmentation.
+	CUDARuntimeReserveBytes = 2 << 30
+)
+
+// ActivationBytes estimates the activation memory for one training step,
+// using the padded allocation length.
+func (m Model) ActivationBytes(batch int) int64 {
+	seq := m.AllocSeqLen
+	if seq == 0 {
+		seq = m.SeqLen
+	}
+	if m.FullGraphOnly {
+		// Full-graph GNN: activations for every node at every layer.
+		return int64(m.Layers) * int64(seq) * int64(m.Hidden) * 4 * ActivationWordsPerHidden / 8
+	}
+	tokens := int64(batch) * int64(seq)
+	return tokens * int64(m.Layers) * int64(m.Hidden) * 4 * ActivationWordsPerHidden
+}
+
+// GPUFootprintBytes estimates total GPU memory under ZeRO-Offload:
+// parameters (FP32), the gradient buffer, activations, and the runtime
+// reserve. Optimizer states live on the CPU by construction.
+func (m Model) GPUFootprintBytes(batch int) int64 {
+	return m.ParamBytes() + GradBufferBytes + m.ActivationBytes(batch) + CUDARuntimeReserveBytes
+}
+
+// FitsOnV100 reports whether the configuration trains without OOM on the
+// paper's 32 GB V100.
+func (m Model) FitsOnV100(batch int) bool {
+	return m.GPUFootprintBytes(batch) <= V100MemoryBytes
+}
+
+// MaxBatchOnV100 returns the largest batch size (up to limit) that fits.
+func (m Model) MaxBatchOnV100(limit int) int {
+	if m.FullGraphOnly {
+		return 1
+	}
+	best := 0
+	for b := 1; b <= limit; b++ {
+		if m.FitsOnV100(b) {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,199 @@
+package modelzoo
+
+import "testing"
+
+// TestTableIIIGeometry pins the Table III rows.
+func TestTableIIIGeometry(t *testing.T) {
+	cases := []struct {
+		m      Model
+		params int64
+		layers int
+		hidden int
+		cache  int64
+	}{
+		{GPT2(), 122e6, 12, 1024, 324},
+		{AlbertXXLarge(), 223e6, 12, 4096, 547},
+		{BertLargeCased(), 334e6, 24, 1024, 817},
+		{T5Large(), 737e6, 48, 1024, 2069},
+		{GCNII(), 156e6, 64, 1560, 400},
+	}
+	for _, c := range cases {
+		if c.m.Params != c.params {
+			t.Errorf("%s params = %d", c.m.Name, c.m.Params)
+		}
+		if c.m.Layers != c.layers || c.m.Hidden != c.hidden {
+			t.Errorf("%s geometry = %d/%d", c.m.Name, c.m.Layers, c.m.Hidden)
+		}
+		if c.m.PaperGiantCacheMB != c.cache {
+			t.Errorf("%s paper cache = %d", c.m.Name, c.m.PaperGiantCacheMB)
+		}
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	m := BertLargeCased()
+	if m.ParamBytes() != 334e6*4 {
+		t.Fatal("param bytes")
+	}
+	if m.GradBytes() != m.ParamBytes() {
+		t.Fatal("FP32 gradients must match parameter volume")
+	}
+	if m.OptimizerStateBytes() != 2*m.ParamBytes() {
+		t.Fatal("ADAM states are 2 words per param")
+	}
+	if m.GiantCacheBytes(GradBufferBytes) != m.ParamBytes()+GradBufferBytes {
+		t.Fatal("giant cache = params + gradient buffer")
+	}
+}
+
+func TestStepFLOPsScalesWithBatch(t *testing.T) {
+	m := GPT2()
+	f4 := m.StepFLOPs(4)
+	f8 := m.StepFLOPs(8)
+	if f8 != 2*f4 {
+		t.Fatalf("flops must be linear in batch: %g vs %g", f4, f8)
+	}
+	// 6 * N * tokens.
+	want := 6 * float64(m.Params) * 4 * float64(m.SeqLen)
+	if f4 != want {
+		t.Fatalf("flops = %g, want %g", f4, want)
+	}
+}
+
+func TestGCNIIIgnoresBatch(t *testing.T) {
+	g := GCNII()
+	if !g.FullGraphOnly {
+		t.Fatal("GCNII is full-graph only")
+	}
+	if g.StepFLOPs(4) != g.StepFLOPs(16) {
+		t.Fatal("full-graph flops must not depend on batch")
+	}
+}
+
+func TestAlbertComputeHeavierThanStored(t *testing.T) {
+	a := AlbertXXLarge()
+	if a.ComputeParams <= 5*a.Params {
+		t.Fatal("ALBERT weight sharing: compute params must far exceed stored params")
+	}
+	// Albert has 4x the attention heads of GPT-2/Bert/T5 (paper).
+	if a.Heads != 4*GPT2().Heads {
+		t.Fatalf("Albert heads = %d, want 4x GPT-2's %d", a.Heads, GPT2().Heads)
+	}
+}
+
+func TestSensitivitySizes(t *testing.T) {
+	ms := SensitivityModels()
+	if len(ms) != 4 {
+		t.Fatal("four GPT-2 scales")
+	}
+	wants := []int64{122e6, 356e6, 778e6, 11e9}
+	for i, w := range wants {
+		if ms[i].Params != w {
+			t.Errorf("scale %d params = %d, want %d", i, ms[i].Params, w)
+		}
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Params <= ms[i-1].Params {
+			t.Fatal("sizes must increase")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"GPT2", "Albert-xxlarge-v1", "Bert-large-cased", "T5-large", "GCNII", "GPT2-11B", "Bert-base-uncased"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name must miss")
+	}
+}
+
+func TestPerLayerParamBytes(t *testing.T) {
+	m := BertLargeCased()
+	if m.PerLayerParamBytes()*int64(m.Layers) > m.ParamBytes() {
+		t.Fatal("layer split exceeds total")
+	}
+	if m.PerLayerParamBytes() <= 0 {
+		t.Fatal("per-layer bytes must be positive")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if GPT2().Kind.String() != "transformer-decoder" {
+		t.Fatal(GPT2().Kind.String())
+	}
+	if GCNII().Kind.String() != "gnn" {
+		t.Fatal("gnn")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind renders")
+	}
+}
+
+func TestBandwidthConstants(t *testing.T) {
+	if CXLLinkBandwidth() <= BaselineLinkBandwidth() {
+		t.Fatal("CXL must beat baseline DMA efficiency")
+	}
+	if CXLLinkBandwidth() != 16e9*0.943 {
+		t.Fatalf("CXL bandwidth = %g", CXLLinkBandwidth())
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if GPT2().String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// TestT5Batch16OOM: §VIII-B — "We cannot evaluate T5-large with
+// ZeRO-Offload when the batch size is 16, because it leads to an
+// out-of-memory error" (32GB V100).
+func TestT5Batch16OOM(t *testing.T) {
+	t5 := T5Large()
+	if !t5.FitsOnV100(8) {
+		t.Fatal("T5 batch 8 must fit (the paper evaluates it)")
+	}
+	if t5.FitsOnV100(16) {
+		t.Fatalf("T5 batch 16 should OOM (footprint %.1fGB)", float64(t5.GPUFootprintBytes(16))/(1<<30))
+	}
+}
+
+// TestAllEvaluatedConfigsFit: every (model, batch) cell the paper reports
+// must fit on the V100.
+func TestAllEvaluatedConfigsFit(t *testing.T) {
+	cells := []struct {
+		m Model
+		b []int
+	}{
+		{GPT2(), []int{4, 8, 16}},
+		{AlbertXXLarge(), []int{4, 8, 16}},
+		{BertLargeCased(), []int{4, 8, 16, 20}},
+		{T5Large(), []int{4, 8}},
+		{GCNII(), []int{1}},
+	}
+	for _, c := range cells {
+		for _, b := range c.b {
+			if !c.m.FitsOnV100(b) {
+				t.Errorf("%s batch %d should fit (%.1fGB)", c.m.Name, b,
+					float64(c.m.GPUFootprintBytes(b))/(1<<30))
+			}
+		}
+	}
+}
+
+func TestMaxBatchOnV100(t *testing.T) {
+	t5 := T5Large()
+	mb := t5.MaxBatchOnV100(32)
+	if mb < 8 || mb >= 16 {
+		t.Fatalf("T5 max batch = %d, want in [8, 16)", mb)
+	}
+	if GCNII().MaxBatchOnV100(32) != 1 {
+		t.Fatal("full-graph model max batch is 1")
+	}
+	// Footprint grows with batch.
+	if t5.GPUFootprintBytes(8) <= t5.GPUFootprintBytes(4) {
+		t.Fatal("footprint must grow with batch")
+	}
+}

@@ -1,0 +1,117 @@
+// Package optim implements the numerical optimizer ZeRO-Offload runs on the
+// CPU (paper Fig 1 phases 4-5): global-norm gradient clipping followed by
+// the ADAM update. The math is bit-faithful FP32, because the DBA accuracy
+// experiments depend on the real byte-level dynamics of the parameters.
+package optim
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdamConfig holds ADAM hyperparameters. Zero values select the PyTorch
+// defaults used by the paper's fine-tuning recipes.
+type AdamConfig struct {
+	LR          float64 // learning rate (default 1e-3)
+	Beta1       float64 // first-moment decay (default 0.9)
+	Beta2       float64 // second-moment decay (default 0.999)
+	Eps         float64 // numerical epsilon (default 1e-8)
+	WeightDecay float64 // decoupled weight decay (default 0)
+}
+
+func (c AdamConfig) withDefaults() AdamConfig {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-8
+	}
+	return c
+}
+
+// Adam is an ADAM optimizer instance over a flat parameter vector. The
+// optimizer states (m, v) are what ZeRO-Offload keeps in CPU memory.
+type Adam struct {
+	cfg  AdamConfig
+	m, v []float32
+	step int
+}
+
+// NewAdam builds an optimizer for n parameters.
+func NewAdam(n int, cfg AdamConfig) *Adam {
+	if n <= 0 {
+		panic(fmt.Sprintf("optim: %d parameters", n))
+	}
+	return &Adam{cfg: cfg.withDefaults(), m: make([]float32, n), v: make([]float32, n)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Adam) Config() AdamConfig { return a.cfg }
+
+// StepCount returns the number of Step calls so far.
+func (a *Adam) StepCount() int { return a.step }
+
+// StateBytes returns the optimizer-state footprint in bytes (2 FP32 words
+// per parameter), the quantity ZeRO-Offload offloads to CPU memory.
+func (a *Adam) StateBytes() int64 { return int64(len(a.m)) * 8 }
+
+// Step applies one ADAM update: params <- params - lr * m̂ / (sqrt(v̂)+eps).
+// params and grads must have the optimizer's length.
+func (a *Adam) Step(params, grads []float32) {
+	if len(params) != len(a.m) || len(grads) != len(a.m) {
+		panic(fmt.Sprintf("optim: step over %d/%d values, optimizer has %d", len(params), len(grads), len(a.m)))
+	}
+	a.step++
+	b1 := a.cfg.Beta1
+	b2 := a.cfg.Beta2
+	// Bias corrections.
+	c1 := 1 - math.Pow(b1, float64(a.step))
+	c2 := 1 - math.Pow(b2, float64(a.step))
+	lr := a.cfg.LR
+	eps := a.cfg.Eps
+	wd := a.cfg.WeightDecay
+	for i := range params {
+		g := float64(grads[i])
+		if wd != 0 {
+			// Decoupled (AdamW-style) weight decay.
+			params[i] -= float32(lr * wd * float64(params[i]))
+		}
+		m := b1*float64(a.m[i]) + (1-b1)*g
+		v := b2*float64(a.v[i]) + (1-b2)*g*g
+		a.m[i] = float32(m)
+		a.v[i] = float32(v)
+		mhat := m / c1
+		vhat := v / c2
+		params[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
+	}
+}
+
+// GlobalNorm returns the L2 norm of the gradient vector.
+func GlobalNorm(grads []float32) float64 {
+	var s float64
+	for _, g := range grads {
+		s += float64(g) * float64(g)
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGlobalNorm scales grads in place so their L2 norm is at most maxNorm
+// (paper Fig 1 phase 4: "the gradients are clipped to be bounded within a
+// certain range on CPU"). It returns the pre-clip norm.
+func ClipGlobalNorm(grads []float32, maxNorm float64) float64 {
+	norm := GlobalNorm(grads)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := float32(maxNorm / norm)
+	for i := range grads {
+		grads[i] *= scale
+	}
+	return norm
+}

@@ -1,0 +1,119 @@
+// Package phases defines the per-training-step time breakdown shared by the
+// ZeRO-Offload baseline engine and the TECO engines — the exact categories
+// of the paper's Figure 12: forward-backward, gradient transfer exposed to
+// the critical path, gradient optimizer (clipping), parameter optimization
+// (ADAM), and parameter transfer exposed to the critical path.
+package phases
+
+import (
+	"fmt"
+	"strings"
+
+	"teco/internal/sim"
+)
+
+// Breakdown is the critical-path decomposition of one training step. Phases
+// are laid end to end: Total is their sum by construction.
+type Breakdown struct {
+	Fwd  sim.Time // forward propagation (GPU)
+	Bwd  sim.Time // backward propagation (GPU)
+	Grad sim.Time // gradient transfer time exposed beyond backward
+	Clip sim.Time // gradient clipping (CPU)
+	Adam sim.Time // parameter optimization (CPU ADAM)
+	Prm  sim.Time // parameter transfer time exposed beyond ADAM
+}
+
+// Total returns the end-to-end step time.
+func (b Breakdown) Total() sim.Time {
+	return b.Fwd + b.Bwd + b.Grad + b.Clip + b.Adam + b.Prm
+}
+
+// CommExposed returns the communication time on the critical path — the
+// quantity Table I reports as a fraction of training time.
+func (b Breakdown) CommExposed() sim.Time { return b.Grad + b.Prm }
+
+// CommFraction returns CommExposed / Total.
+func (b Breakdown) CommFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.CommExposed()) / float64(t)
+}
+
+// Compute returns the non-communication time.
+func (b Breakdown) Compute() sim.Time { return b.Total() - b.CommExposed() }
+
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fwd=%v bwd=%v grad=%v clip=%v adam=%v param=%v total=%v (comm %.1f%%)",
+		b.Fwd, b.Bwd, b.Grad, b.Clip, b.Adam, b.Prm, b.Total(), 100*b.CommFraction())
+	return sb.String()
+}
+
+// Variant identifies the system being simulated.
+type Variant int
+
+const (
+	// ZeroOffload is the DeepSpeed baseline (paper Fig 1).
+	ZeroOffload Variant = iota
+	// TECOCXL uses the update-coherent CXL giant cache without DBA.
+	TECOCXL
+	// TECOReduction uses CXL plus dirty-byte aggregation.
+	TECOReduction
+	// TECOInvalidation is the ablation running TECO's giant cache with
+	// the stock invalidation protocol (on-demand transfers, §IV-A2).
+	TECOInvalidation
+)
+
+func (v Variant) String() string {
+	switch v {
+	case ZeroOffload:
+		return "ZeRO-Offload"
+	case TECOCXL:
+		return "TECO-CXL"
+	case TECOReduction:
+		return "TECO-Reduction"
+	case TECOInvalidation:
+		return "TECO-Invalidation"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// StepResult is a simulated training step: the breakdown plus link-volume
+// accounting.
+type StepResult struct {
+	Variant Variant
+	Breakdown
+	// ParamLinkBytes / GradLinkBytes are payload bytes crossing the
+	// interconnect in each direction per step.
+	ParamLinkBytes int64
+	GradLinkBytes  int64
+}
+
+// TotalLinkBytes returns combined link volume.
+func (r StepResult) TotalLinkBytes() int64 { return r.ParamLinkBytes + r.GradLinkBytes }
+
+// Speedup returns base.Total / r.Total.
+func (r StepResult) Speedup(base StepResult) float64 {
+	if r.Total() == 0 {
+		return 0
+	}
+	return float64(base.Total()) / float64(r.Total())
+}
+
+// CommReduction returns the fractional reduction of exposed communication
+// time relative to base — the paper's "TECO reduces communication overhead
+// by 93.7% on average (up to 100%)" metric.
+func (r StepResult) CommReduction(base StepResult) float64 {
+	bc := base.CommExposed()
+	if bc == 0 {
+		return 0
+	}
+	red := 1 - float64(r.CommExposed())/float64(bc)
+	if red < 0 {
+		return 0
+	}
+	return red
+}

@@ -1,0 +1,94 @@
+package phases
+
+import (
+	"strings"
+	"testing"
+
+	"teco/internal/sim"
+)
+
+func sampleBreakdown() Breakdown {
+	return Breakdown{
+		Fwd:  10 * sim.Millisecond,
+		Bwd:  20 * sim.Millisecond,
+		Grad: 5 * sim.Millisecond,
+		Clip: 3 * sim.Millisecond,
+		Adam: 7 * sim.Millisecond,
+		Prm:  15 * sim.Millisecond,
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	b := sampleBreakdown()
+	if b.Total() != 60*sim.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.CommExposed() != 20*sim.Millisecond {
+		t.Fatalf("comm = %v", b.CommExposed())
+	}
+	if got := b.CommFraction(); got < 0.333 || got > 0.334 {
+		t.Fatalf("fraction = %v", got)
+	}
+	if b.Compute() != 40*sim.Millisecond {
+		t.Fatalf("compute = %v", b.Compute())
+	}
+	if (Breakdown{}).CommFraction() != 0 {
+		t.Fatal("empty breakdown must not divide by zero")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := sampleBreakdown().String()
+	for _, want := range []string{"fwd=", "adam=", "comm"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	cases := map[Variant]string{
+		ZeroOffload:      "ZeRO-Offload",
+		TECOCXL:          "TECO-CXL",
+		TECOReduction:    "TECO-Reduction",
+		TECOInvalidation: "TECO-Invalidation",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d => %q", int(v), v.String())
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Fatal("unknown variant renders")
+	}
+}
+
+func TestSpeedupAndCommReduction(t *testing.T) {
+	base := StepResult{Breakdown: sampleBreakdown()}
+	fast := StepResult{Breakdown: Breakdown{Fwd: 10 * sim.Millisecond, Bwd: 20 * sim.Millisecond}}
+	if s := fast.Speedup(base); s != 2.0 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if r := fast.CommReduction(base); r != 1.0 {
+		t.Fatalf("comm reduction = %v", r)
+	}
+	// Worse comm clamps at 0 reduction.
+	worse := StepResult{Breakdown: Breakdown{Grad: 100 * sim.Millisecond}}
+	if r := worse.CommReduction(base); r != 0 {
+		t.Fatalf("reduction = %v, want clamp to 0", r)
+	}
+	// Degenerate bases.
+	if (StepResult{}).Speedup(base) != 0 {
+		t.Fatal("zero total must not divide")
+	}
+	if fast.CommReduction(StepResult{}) != 0 {
+		t.Fatal("zero base comm must not divide")
+	}
+}
+
+func TestTotalLinkBytes(t *testing.T) {
+	r := StepResult{ParamLinkBytes: 100, GradLinkBytes: 50}
+	if r.TotalLinkBytes() != 150 {
+		t.Fatal("link bytes")
+	}
+}

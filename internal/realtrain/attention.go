@@ -1,0 +1,283 @@
+package realtrain
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Attention is a single-head self-attention classifier — the
+// transformer-family counterpart of the MLP proxy, so the accuracy
+// experiments can run on the same architecture class as the paper's
+// workloads:
+//
+//	tokens -> Emb -> self-attention (softmax(QK^T/sqrt(D)) V) ->
+//	mean-pool -> logits.
+//
+// The whole model is one flat FP32 vector for the DBA machinery, and the
+// backward pass is hand-derived (validated against finite differences).
+type Attention struct {
+	Vocab, Dim, Classes int
+	Params              []float32
+}
+
+// NewAttention builds the model with scaled random initialization.
+func NewAttention(vocab, dim, classes int, seed int64) *Attention {
+	m := &Attention{Vocab: vocab, Dim: dim, Classes: classes}
+	m.Params = make([]float32, m.NumParams())
+	rng := rand.New(rand.NewSource(seed))
+	emb, wq, wk, wv, wo, _ := m.views(m.Params)
+	for i := range emb {
+		emb[i] = 0.5 * float32(rng.NormFloat64())
+	}
+	s := float32(math.Sqrt(1 / float64(dim)))
+	for _, w := range [][]float32{wq, wk, wv} {
+		for i := range w {
+			w[i] = s * float32(rng.NormFloat64())
+		}
+	}
+	for i := range wo {
+		wo[i] = s * float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// NumParams returns the flat parameter count:
+// Emb + Wq + Wk + Wv + Wout + bout.
+func (m *Attention) NumParams() int {
+	d := m.Dim
+	return m.Vocab*d + 3*d*d + d*m.Classes + m.Classes
+}
+
+func (m *Attention) views(p []float32) (emb, wq, wk, wv, wo, bo []float32) {
+	d := m.Dim
+	o := 0
+	emb = p[o : o+m.Vocab*d]
+	o += m.Vocab * d
+	wq = p[o : o+d*d]
+	o += d * d
+	wk = p[o : o+d*d]
+	o += d * d
+	wv = p[o : o+d*d]
+	o += d * d
+	wo = p[o : o+d*m.Classes]
+	o += d * m.Classes
+	bo = p[o : o+m.Classes]
+	return
+}
+
+// attnState keeps forward activations for backward.
+type attnState struct {
+	x       [][]float32 // T x D token embeddings
+	q, k, v [][]float32 // T x D projections
+	attn    [][]float32 // T x T softmax rows
+	h       [][]float32 // T x D attention output
+	pooled  []float32   // D mean-pooled
+	probs   []float32
+}
+
+func matRows(t, d int) [][]float32 {
+	m := make([][]float32, t)
+	for i := range m {
+		m[i] = make([]float32, d)
+	}
+	return m
+}
+
+// forward runs the model on one token sequence.
+func (m *Attention) forward(params []float32, tok []int) *attnState {
+	emb, wq, wk, wv, wo, bo := m.views(params)
+	d := m.Dim
+	T := len(tok)
+	st := &attnState{
+		x: matRows(T, d), q: matRows(T, d), k: matRows(T, d), v: matRows(T, d),
+		attn: matRows(T, T), h: matRows(T, d), pooled: make([]float32, d),
+	}
+	for t, id := range tok {
+		copy(st.x[t], emb[id*d:(id+1)*d])
+	}
+	proj := func(dst [][]float32, w []float32) {
+		for t := 0; t < T; t++ {
+			for j := 0; j < d; j++ {
+				var s float32
+				for i := 0; i < d; i++ {
+					s += st.x[t][i] * w[i*d+j]
+				}
+				dst[t][j] = s
+			}
+		}
+	}
+	proj(st.q, wq)
+	proj(st.k, wk)
+	proj(st.v, wv)
+	scale := float32(1 / math.Sqrt(float64(d)))
+	for t := 0; t < T; t++ {
+		row := st.attn[t]
+		for u := 0; u < T; u++ {
+			var s float32
+			for i := 0; i < d; i++ {
+				s += st.q[t][i] * st.k[u][i]
+			}
+			row[u] = s * scale
+		}
+		copy(row, softmax(row))
+	}
+	for t := 0; t < T; t++ {
+		for j := 0; j < d; j++ {
+			var s float32
+			for u := 0; u < T; u++ {
+				s += st.attn[t][u] * st.v[u][j]
+			}
+			st.h[t][j] = s
+			st.pooled[j] += s / float32(T)
+		}
+	}
+	logits := make([]float32, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		s := bo[c]
+		for j := 0; j < d; j++ {
+			s += st.pooled[j] * wo[j*m.Classes+c]
+		}
+		logits[c] = s
+	}
+	st.probs = softmax(logits)
+	return st
+}
+
+// Forward returns class probabilities for one example.
+func (m *Attention) Forward(params []float32, tok []int) []float32 {
+	return m.forward(params, tok).probs
+}
+
+// LossAndGrad computes mean cross-entropy over a minibatch and the full
+// gradient into grads (zeroed first). Returns the loss.
+func (m *Attention) LossAndGrad(params []float32, ds *Dataset, batch []int, grads []float32) float64 {
+	for i := range grads {
+		grads[i] = 0
+	}
+	_, wq, wk, wv, wo, _ := m.views(params)
+	gemb, gwq, gwk, gwv, gwo, gbo := m.views(grads)
+	d := m.Dim
+	var loss float64
+	inv := float32(1.0 / float64(len(batch)))
+	scale := float32(1 / math.Sqrt(float64(d)))
+
+	for _, idx := range batch {
+		tok := ds.TrainTok[idx]
+		y := ds.TrainY[idx]
+		T := len(tok)
+		st := m.forward(params, tok)
+		p := float64(st.probs[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+
+		// Classifier backward.
+		dPooled := make([]float32, d)
+		for c := 0; c < m.Classes; c++ {
+			dz := st.probs[c] * inv
+			if c == y {
+				dz -= inv
+			}
+			gbo[c] += dz
+			for j := 0; j < d; j++ {
+				gwo[j*m.Classes+c] += st.pooled[j] * dz
+				dPooled[j] += wo[j*m.Classes+c] * dz
+			}
+		}
+		// Mean pool backward: dH[t] = dPooled / T.
+		dH := matRows(T, d)
+		for t := 0; t < T; t++ {
+			for j := 0; j < d; j++ {
+				dH[t][j] = dPooled[j] / float32(T)
+			}
+		}
+		// H = A V.
+		dA := matRows(T, T)
+		dV := matRows(T, d)
+		for t := 0; t < T; t++ {
+			for u := 0; u < T; u++ {
+				var s float32
+				for j := 0; j < d; j++ {
+					s += dH[t][j] * st.v[u][j]
+					dV[u][j] += st.attn[t][u] * dH[t][j]
+				}
+				dA[t][u] = s
+			}
+		}
+		// Softmax backward per row -> dScores, then Q/K.
+		dQ := matRows(T, d)
+		dK := matRows(T, d)
+		for t := 0; t < T; t++ {
+			var dot float32
+			for u := 0; u < T; u++ {
+				dot += dA[t][u] * st.attn[t][u]
+			}
+			for u := 0; u < T; u++ {
+				ds := st.attn[t][u] * (dA[t][u] - dot) * scale
+				for i := 0; i < d; i++ {
+					dQ[t][i] += ds * st.k[u][i]
+					dK[u][i] += ds * st.q[t][i]
+				}
+			}
+		}
+		// Projections: P = X W  =>  dW += X^T dP, dX += dP W^T.
+		dX := matRows(T, d)
+		backProj := func(dP [][]float32, w, gw []float32) {
+			for t := 0; t < T; t++ {
+				for i := 0; i < d; i++ {
+					xti := st.x[t][i]
+					var acc float32
+					for j := 0; j < d; j++ {
+						gw[i*d+j] += xti * dP[t][j]
+						acc += dP[t][j] * w[i*d+j]
+					}
+					dX[t][i] += acc
+				}
+			}
+		}
+		backProj(dQ, wq, gwq)
+		backProj(dK, wk, gwk)
+		backProj(dV, wv, gwv)
+		// Embedding rows.
+		for t, id := range tok {
+			base := id * d
+			for i := 0; i < d; i++ {
+				gemb[base+i] += dX[t][i]
+			}
+		}
+	}
+	return loss / float64(len(batch))
+}
+
+// Accuracy evaluates top-1 accuracy on the test split.
+func (m *Attention) Accuracy(params []float32, ds *Dataset) float64 {
+	correct := 0
+	for i, tok := range ds.TestTok {
+		probs := m.Forward(params, tok)
+		best := 0
+		for c := range probs {
+			if probs[c] > probs[best] {
+				best = c
+			}
+		}
+		if best == ds.TestY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ds.TestTok))
+}
+
+// MeanLoss evaluates mean cross-entropy on the test split.
+func (m *Attention) MeanLoss(params []float32, ds *Dataset) float64 {
+	var loss float64
+	for i, tok := range ds.TestTok {
+		probs := m.Forward(params, tok)
+		p := float64(probs[ds.TestY[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+	}
+	return loss / float64(len(ds.TestTok))
+}

@@ -1,0 +1,94 @@
+package realtrain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAttentionForwardIsDistribution(t *testing.T) {
+	m := NewAttention(32, 16, 4, 1)
+	p := m.Forward(m.Params, []int{1, 5, 9, 2})
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("prob %v", v)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestAttentionParamLayout(t *testing.T) {
+	m := NewAttention(32, 16, 4, 1)
+	want := 32*16 + 3*16*16 + 16*4 + 4
+	if m.NumParams() != want || len(m.Params) != want {
+		t.Fatalf("params = %d, want %d", m.NumParams(), want)
+	}
+	if len(m.Parameters()) != want {
+		t.Fatal("Parameters accessor")
+	}
+}
+
+// TestAttentionGradientsMatchFiniteDifferences validates the hand-derived
+// attention backward (softmax(QK^T)V, projections, pooling, classifier).
+func TestAttentionGradientsMatchFiniteDifferences(t *testing.T) {
+	ds := NewDataset(DatasetConfig{Vocab: 24, TokensPer: 5, Dim: 8, Classes: 3, Train: 20, Test: 5, Seed: 3})
+	m := NewAttention(24, 8, 3, 4)
+	batch := []int{0, 1, 2}
+	grads := make([]float32, m.NumParams())
+	m.LossAndGrad(m.Params, ds, batch, grads)
+
+	rng := rand.New(rand.NewSource(9))
+	const eps = 1e-3
+	checked := 0
+	for trial := 0; trial < 200 && checked < 20; trial++ {
+		i := rng.Intn(m.NumParams())
+		orig := m.Params[i]
+		m.Params[i] = orig + eps
+		lp := m.LossAndGrad(m.Params, ds, batch, make([]float32, m.NumParams()))
+		m.Params[i] = orig - eps
+		lm := m.LossAndGrad(m.Params, ds, batch, make([]float32, m.NumParams()))
+		m.Params[i] = orig
+		fd := (lp - lm) / (2 * eps)
+		if math.Abs(fd) < 1e-3 || math.Abs(float64(grads[i])) < 1e-3 {
+			continue
+		}
+		rel := math.Abs(fd-float64(grads[i])) / math.Max(math.Abs(fd), math.Abs(float64(grads[i])))
+		if rel > 0.08 {
+			t.Fatalf("param %d: analytic %v vs FD %v (rel %.3f)", i, grads[i], fd, rel)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d gradients checked", checked)
+	}
+}
+
+func TestAttentionArchLearns(t *testing.T) {
+	r := Run(Config{Steps: 150, Seed: 11, Arch: "attention", PreSteps: 800})
+	if r.FinalAcc < 0.4 {
+		t.Fatalf("attention proxy accuracy %.3f", r.FinalAcc)
+	}
+}
+
+// TestAttentionDBAConvergence: the Table V property holds on the
+// transformer-family architecture too.
+func TestAttentionDBAConvergence(t *testing.T) {
+	base := Run(Config{Steps: 300, Seed: 21, Arch: "attention", PreSteps: 800})
+	red := Run(Config{Steps: 300, Seed: 21, Arch: "attention", PreSteps: 800, DBA: true, ActAfterSteps: 100})
+	if diff := base.FinalAcc - red.FinalAcc; diff > 0.10 {
+		t.Fatalf("DBA cost %.3f accuracy on attention (%.3f -> %.3f)", diff, base.FinalAcc, red.FinalAcc)
+	}
+}
+
+func TestUnknownArchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Config{Steps: 1, PreSteps: 1, Arch: "rnn"})
+}

@@ -1,0 +1,226 @@
+package realtrain
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is an embedding + two-layer softmax classifier with a flat parameter
+// vector, so the whole model can ride the tensor/DBA machinery as one
+// buffer:
+//
+//	tokens -> mean(Emb[tok]) -> ReLU(x W1 + b1) -> W2 + b2 -> softmax.
+//
+// The embedding table gives the model the sparse-update structure of real
+// transformer fine-tuning: only rows appearing in a batch receive
+// gradients, so a large share of parameters is bit-identical across
+// consecutive steps (paper §III, "44.5% of parameters do not change").
+type MLP struct {
+	Vocab, Dim, Hidden, Classes int
+	// Params is the flat FP32 parameter vector:
+	// [Emb (Vocab*Dim) | W1 (Dim*Hidden) | b1 | W2 (Hidden*Classes) | b2].
+	Params []float32
+}
+
+// NewMLP builds a model with Kaiming-style random initialization.
+func NewMLP(vocab, dim, hidden, classes int, seed int64) *MLP {
+	m := &MLP{Vocab: vocab, Dim: dim, Hidden: hidden, Classes: classes}
+	m.Params = make([]float32, m.NumParams())
+	rng := rand.New(rand.NewSource(seed))
+	emb, w1, _, w2, _ := m.views(m.Params)
+	for i := range emb {
+		emb[i] = 0.5 * float32(rng.NormFloat64())
+	}
+	s1 := float32(math.Sqrt(2 / float64(dim)))
+	for i := range w1 {
+		w1[i] = s1 * float32(rng.NormFloat64())
+	}
+	s2 := float32(math.Sqrt(2 / float64(hidden)))
+	for i := range w2 {
+		w2[i] = s2 * float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// NumParams returns the flat parameter count.
+func (m *MLP) NumParams() int {
+	return m.Vocab*m.Dim + m.Dim*m.Hidden + m.Hidden + m.Hidden*m.Classes + m.Classes
+}
+
+// views slices a flat vector into (Emb, W1, b1, W2, b2).
+func (m *MLP) views(p []float32) (emb, w1, b1, w2, b2 []float32) {
+	o := 0
+	emb = p[o : o+m.Vocab*m.Dim]
+	o += m.Vocab * m.Dim
+	w1 = p[o : o+m.Dim*m.Hidden]
+	o += m.Dim * m.Hidden
+	b1 = p[o : o+m.Hidden]
+	o += m.Hidden
+	w2 = p[o : o+m.Hidden*m.Classes]
+	o += m.Hidden * m.Classes
+	b2 = p[o : o+m.Classes]
+	return
+}
+
+// embed computes the mean embedding of a token bag.
+func (m *MLP) embed(params []float32, tok []int) []float32 {
+	emb, _, _, _, _ := m.views(params)
+	x := make([]float32, m.Dim)
+	for _, t := range tok {
+		base := t * m.Dim
+		for d := 0; d < m.Dim; d++ {
+			x[d] += emb[base+d]
+		}
+	}
+	inv := float32(1.0 / float64(len(tok)))
+	for d := range x {
+		x[d] *= inv
+	}
+	return x
+}
+
+// Forward computes class probabilities for one example using the given
+// parameter vector (which may be the DBA-merged accelerator copy).
+func (m *MLP) Forward(params []float32, tok []int) []float32 {
+	probs, _, _ := m.forwardHidden(params, tok)
+	return probs
+}
+
+func (m *MLP) forwardHidden(params []float32, tok []int) (probs, hidden, x []float32) {
+	_, w1, b1, w2, b2 := m.views(params)
+	x = m.embed(params, tok)
+	h := make([]float32, m.Hidden)
+	for j := 0; j < m.Hidden; j++ {
+		s := b1[j]
+		for d := 0; d < m.Dim; d++ {
+			s += x[d] * w1[d*m.Hidden+j]
+		}
+		if s < 0 {
+			s = 0
+		}
+		h[j] = s
+	}
+	z := make([]float32, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		s := b2[c]
+		for j := 0; j < m.Hidden; j++ {
+			s += h[j] * w2[j*m.Classes+c]
+		}
+		z[c] = s
+	}
+	return softmax(z), h, x
+}
+
+func softmax(z []float32) []float32 {
+	maxZ := z[0]
+	for _, v := range z[1:] {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	out := make([]float32, len(z))
+	for i, v := range z {
+		e := math.Exp(float64(v - maxZ))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
+
+// LossAndGrad computes mean cross-entropy loss over a minibatch and the
+// gradient with respect to params, written into grads (zeroed first).
+// Returns the loss. Embedding gradients are sparse: only rows whose tokens
+// appear in the batch are touched.
+func (m *MLP) LossAndGrad(params []float32, ds *Dataset, batch []int, grads []float32) float64 {
+	for i := range grads {
+		grads[i] = 0
+	}
+	gemb, gw1, gb1, gw2, gb2 := m.views(grads)
+	_, w1, _, w2, _ := m.views(params)
+	var loss float64
+	inv := float32(1.0 / float64(len(batch)))
+	for _, idx := range batch {
+		tok := ds.TrainTok[idx]
+		y := ds.TrainY[idx]
+		probs, h, x := m.forwardHidden(params, tok)
+		p := float64(probs[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+		// dz = probs - onehot(y), scaled by 1/B.
+		dz := make([]float32, m.Classes)
+		for c := range dz {
+			dz[c] = probs[c] * inv
+		}
+		dz[y] -= inv
+		// W2, b2 gradients and hidden backprop.
+		dh := make([]float32, m.Hidden)
+		for j := 0; j < m.Hidden; j++ {
+			hj := h[j]
+			for c := 0; c < m.Classes; c++ {
+				gw2[j*m.Classes+c] += hj * dz[c]
+				dh[j] += w2[j*m.Classes+c] * dz[c]
+			}
+		}
+		for c := 0; c < m.Classes; c++ {
+			gb2[c] += dz[c]
+		}
+		// ReLU gate, then W1, b1, and the embedding rows.
+		dx := make([]float32, m.Dim)
+		for j := 0; j < m.Hidden; j++ {
+			if h[j] <= 0 {
+				continue
+			}
+			gb1[j] += dh[j]
+			for d := 0; d < m.Dim; d++ {
+				gw1[d*m.Hidden+j] += x[d] * dh[j]
+				dx[d] += w1[d*m.Hidden+j] * dh[j]
+			}
+		}
+		tokInv := float32(1.0 / float64(len(tok)))
+		for _, t := range tok {
+			base := t * m.Dim
+			for d := 0; d < m.Dim; d++ {
+				gemb[base+d] += dx[d] * tokInv
+			}
+		}
+	}
+	return loss / float64(len(batch))
+}
+
+// Accuracy evaluates top-1 accuracy on the test split using params.
+func (m *MLP) Accuracy(params []float32, ds *Dataset) float64 {
+	correct := 0
+	for i, tok := range ds.TestTok {
+		probs := m.Forward(params, tok)
+		best := 0
+		for c := range probs {
+			if probs[c] > probs[best] {
+				best = c
+			}
+		}
+		if best == ds.TestY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ds.TestTok))
+}
+
+// MeanLoss evaluates mean cross-entropy on the test split.
+func (m *MLP) MeanLoss(params []float32, ds *Dataset) float64 {
+	var loss float64
+	for i, tok := range ds.TestTok {
+		probs := m.Forward(params, tok)
+		p := float64(probs[ds.TestY[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+	}
+	return loss / float64(len(ds.TestTok))
+}

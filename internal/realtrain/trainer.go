@@ -1,0 +1,258 @@
+package realtrain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"teco/internal/dba"
+	"teco/internal/optim"
+	"teco/internal/tensor"
+)
+
+// Config controls a fine-tuning run.
+type Config struct {
+	Steps    int     // training steps (default 1000)
+	Batch    int     // minibatch size (default 32)
+	LR       float64 // pre-training ADAM learning rate (default 3e-3)
+	ClipNorm float64 // global-norm clip (default 1.0)
+	Hidden   int     // MLP hidden width (default 128)
+	Seed     int64   // RNG seed for data + init + batches
+	PreSteps int     // "pre-training" steps before fine-tuning (default 1500)
+	FineLR   float64 // fine-tuning LR (default 1e-5, small updates)
+	// DBA switches on the dirty-byte parameter path.
+	DBA bool
+	// FP16Compute models mixed-precision training (paper §V): after the
+	// FP32 parameters land on the accelerator, the GPU converts them to
+	// FP16 for forward/backward. The conversion happens on the GPU, so
+	// the CPU->GPU transfer stays FP32 and DBA still applies.
+	FP16Compute bool
+	// ActAfterSteps is `act_aft_steps`; ignored when !DBA. Negative
+	// selects the paper default (500).
+	ActAfterSteps int
+	// DirtyBytes is `dirty_bytes` (default 2).
+	DirtyBytes int
+	// SampleEvery controls how often byte-change distributions and loss
+	// are recorded (default every 10 steps).
+	SampleEvery int
+	// Arch selects the proxy architecture: "mlp" (default) or
+	// "attention" (single-head self-attention classifier).
+	Arch string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps == 0 {
+		c.Steps = 1000
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 1.0
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 128
+	}
+	if c.PreSteps == 0 {
+		c.PreSteps = 1500
+	}
+	if c.FineLR == 0 {
+		c.FineLR = 1e-5
+	}
+	if c.DirtyBytes == 0 {
+		c.DirtyBytes = dba.DefaultDirtyBytes
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 10
+	}
+	if c.Arch == "" {
+		c.Arch = "mlp"
+	}
+	return c
+}
+
+// proxyModel is the architecture interface both proxies satisfy.
+type proxyModel interface {
+	NumParams() int
+	Parameters() []float32
+	LossAndGrad(params []float32, ds *Dataset, batch []int, grads []float32) float64
+	Accuracy(params []float32, ds *Dataset) float64
+	MeanLoss(params []float32, ds *Dataset) float64
+}
+
+// Parameters returns the MLP's flat parameter vector.
+func (m *MLP) Parameters() []float32 { return m.Params }
+
+// Parameters returns the attention model's flat parameter vector.
+func (m *Attention) Parameters() []float32 { return m.Params }
+
+func newProxy(cfg Config, ds *Dataset) proxyModel {
+	switch cfg.Arch {
+	case "attention":
+		return NewAttention(ds.Vocab, ds.Dim, ds.Classes, cfg.Seed+1)
+	case "mlp":
+		return NewMLP(ds.Vocab, ds.Dim, cfg.Hidden, ds.Classes, cfg.Seed+1)
+	default:
+		panic(fmt.Sprintf("realtrain: unknown architecture %q", cfg.Arch))
+	}
+}
+
+// StepSample is one recorded point of a run.
+type StepSample struct {
+	Step int
+	Loss float64 // minibatch training loss
+	// ParamDist / GradDist classify byte changes versus the previous
+	// sampled step (Fig 2).
+	ParamDist tensor.Distribution
+	GradDist  tensor.Distribution
+	// DBAActive reports whether the dirty-byte path was on at this step.
+	DBAActive bool
+}
+
+// Result is a completed fine-tuning run.
+type Result struct {
+	Config      Config
+	Samples     []StepSample
+	FinalLoss   float64 // test cross-entropy of the *accelerator* params
+	FinalAcc    float64 // test accuracy of the accelerator params
+	Perplexity  float64 // exp(test loss) — the GPT-2-style metric proxy
+	MasterAcc   float64 // accuracy of the CPU master copy (no DBA error)
+	ActivatedAt int     // step DBA activated, -1 if never
+	// DivergedBits counts master/accelerator words whose upper two bytes
+	// differ at the end (the accumulated DBA staleness).
+	DivergedWords int
+}
+
+// Run executes the fine-tuning experiment: pre-train to convergence
+// neighbourhood, then fine-tune with the ZeRO-Offload dataflow where the
+// accelerator's compute copy is refreshed through the (optionally DBA'd)
+// parameter path.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	ds := NewDataset(DatasetConfig{Seed: cfg.Seed})
+	m := newProxy(cfg, ds)
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	n := m.NumParams()
+	master := m.Parameters()      // CPU master copy (FP32, exact)
+	compute := make([]float32, n) // accelerator copy (fwd/bwd uses this)
+	grads := make([]float32, n)
+
+	// Phase 0: "pre-training" — the paper fine-tunes pre-trained models;
+	// we reach the convergence neighbourhood first so the fine-tuning
+	// updates are small (the regime where DBA's premise holds).
+	pre := optim.NewAdam(n, optim.AdamConfig{LR: cfg.LR})
+	for s := 0; s < cfg.PreSteps; s++ {
+		batch := ds.Batch(rng, cfg.Batch)
+		m.LossAndGrad(master, ds, batch, grads)
+		optim.ClipGlobalNorm(grads, cfg.ClipNorm)
+		pre.Step(master, grads)
+	}
+
+	// Fine-tuning with the offload dataflow.
+	copy(compute, master)
+	ad := optim.NewAdam(n, optim.AdamConfig{LR: cfg.FineLR})
+	ctrl := dba.NewController(cfg.ActAfterSteps, cfg.DirtyBytes)
+
+	res := Result{Config: cfg, ActivatedAt: -1}
+	prevMaster := make([]float32, n)
+	prevGrads := make([]float32, n)
+	copy(prevMaster, master)
+
+	fp16View := make([]float32, n)
+	for s := 0; s < cfg.Steps; s++ {
+		// Forward/backward on the ACCELERATOR copy (possibly stale in
+		// its high bytes when DBA is on). Under mixed precision the GPU
+		// first rounds its copy through binary16.
+		fwdParams := compute
+		if cfg.FP16Compute {
+			for i := range compute {
+				fp16View[i] = tensor.RoundTripFP16(compute[i])
+			}
+			fwdParams = fp16View
+		}
+		batch := ds.Batch(rng, cfg.Batch)
+		loss := m.LossAndGrad(fwdParams, ds, batch, grads)
+		// Gradients cross GPU->CPU in full FP32 (no DBA for grads).
+		optim.ClipGlobalNorm(grads, cfg.ClipNorm)
+		ad.Step(master, grads)
+
+		active := false
+		if cfg.DBA {
+			active = ctrl.CheckActivation(s)
+		}
+		// Parameter transfer CPU->GPU.
+		if active {
+			mergeDirtyBytes(compute, master, cfg.DirtyBytes)
+		} else {
+			copy(compute, master)
+		}
+
+		if s%cfg.SampleEvery == 0 || s == cfg.Steps-1 {
+			sample := StepSample{Step: s, Loss: loss, DBAActive: active}
+			for i := 0; i < n; i++ {
+				sample.ParamDist.Observe(prevMaster[i], master[i])
+				sample.GradDist.Observe(prevGrads[i], grads[i])
+			}
+			res.Samples = append(res.Samples, sample)
+		}
+		copy(prevMaster, master)
+		copy(prevGrads, grads)
+	}
+	if cfg.DBA {
+		res.ActivatedAt = ctrl.ActivatedAt()
+	}
+
+	res.FinalLoss = m.MeanLoss(compute, ds)
+	res.FinalAcc = m.Accuracy(compute, ds)
+	res.Perplexity = math.Exp(res.FinalLoss)
+	res.MasterAcc = m.Accuracy(master, ds)
+	for i := 0; i < n; i++ {
+		if math.Float32bits(master[i])>>16 != math.Float32bits(compute[i])>>16 {
+			res.DivergedWords++
+		}
+	}
+	return res
+}
+
+// mergeDirtyBytes applies the Disaggregator semantics word-by-word: the
+// low n bytes of each FP32 master value overwrite the compute copy's low
+// bytes; the high bytes keep whatever the accelerator last had.
+func mergeDirtyBytes(compute, master []float32, n int) {
+	if n <= 0 || n > 4 {
+		panic(fmt.Sprintf("realtrain: dirty bytes %d", n))
+	}
+	if n == 4 {
+		copy(compute, master)
+		return
+	}
+	mask := uint32(1)<<(uint(n)*8) - 1 // low n bytes
+	for i := range compute {
+		cb := math.Float32bits(compute[i])
+		mb := math.Float32bits(master[i])
+		compute[i] = math.Float32frombits((cb &^ mask) | (mb & mask))
+	}
+}
+
+// AggregateDistributions sums the per-sample distributions of a run.
+func (r Result) AggregateDistributions() (params, grads tensor.Distribution) {
+	for _, s := range r.Samples {
+		params.Add(s.ParamDist)
+		grads.Add(s.GradDist)
+	}
+	return
+}
+
+// LossCurve returns (steps, losses) for plotting Fig 10.
+func (r Result) LossCurve() ([]int, []float64) {
+	steps := make([]int, len(r.Samples))
+	losses := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		steps[i] = s.Step
+		losses[i] = s.Loss
+	}
+	return steps, losses
+}

@@ -1,0 +1,70 @@
+package sim
+
+// Server models a serial resource (a bus, a link, a pipelined unit) that
+// services work items one after another in FIFO order. It is the building
+// block for the CXL link model: "the updated cache lines ... are going
+// through the link one after another in a stream manner" (paper §VIII-A).
+type Server struct {
+	eng *Engine
+	// freeAt is the earliest time the resource can begin new work.
+	freeAt Time
+	// busy accumulates total service time, for utilization accounting.
+	busy Time
+}
+
+// NewServer returns a serial server bound to eng.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng}
+}
+
+// Enqueue schedules a work item that takes service to process. The item
+// begins at max(now, freeAt) and done (if non-nil) fires at completion.
+// It returns the completion time.
+func (s *Server) Enqueue(service Time, done func()) Time {
+	start := s.eng.Now()
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	end := start + service
+	s.freeAt = end
+	s.busy += service
+	if done != nil {
+		s.eng.At(end, done)
+	}
+	return end
+}
+
+// EnqueueAt behaves like Enqueue but the item only becomes eligible at
+// ready (which may be in the simulated future relative to Now).
+func (s *Server) EnqueueAt(ready Time, service Time, done func()) Time {
+	start := ready
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	end := start + service
+	s.freeAt = end
+	s.busy += service
+	if done != nil {
+		s.eng.At(end, done)
+	}
+	return end
+}
+
+// FreeAt returns the time the server drains all currently queued work.
+func (s *Server) FreeAt() Time { return s.freeAt }
+
+// BusyTime returns the cumulative service time processed.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// Utilization returns busy time divided by elapsed, in [0, 1], measured at
+// the engine's current clock.
+func (s *Server) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	u := float64(s.busy) / float64(s.eng.Now())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,200 @@
+// Package sim provides a small discrete-event simulation engine used by all
+// timing models in the repository: the CXL link, the cache/coherence
+// machinery, the GPU and CPU timing models, and the training schedules.
+//
+// Time is measured in integer picoseconds so that sub-nanosecond hardware
+// latencies (e.g. the 1 ns Aggregator delay from the paper, §VIII-D) compose
+// exactly with multi-millisecond kernel times without floating-point drift.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp in picoseconds.
+type Time int64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Nanoseconds converts t to floating-point nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// String renders the time with an adaptive unit for debugging output.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to a Time, saturating instead
+// of overflowing for durations beyond the representable range (~106 days).
+func FromSeconds(s float64) Time {
+	ps := s * float64(Second)
+	if ps >= math.MaxInt64 {
+		return Time(math.MaxInt64)
+	}
+	if ps <= 0 {
+		return 0
+	}
+	return Time(ps)
+}
+
+// DurationForBytes returns the serialized transfer time of n bytes on a link
+// sustaining bytesPerSecond, rounded up to a whole picosecond.
+func DurationForBytes(n int64, bytesPerSecond float64) Time {
+	if n <= 0 || bytesPerSecond <= 0 {
+		return 0
+	}
+	return FromSeconds(float64(n) / bytesPerSecond)
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among simultaneous events
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// When returns the scheduled firing time.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is ready to use. Engines are not safe for concurrent use;
+// every simulation in this repository drives one engine from one goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (for tests/metrics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: that is
+// always a modelling bug, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn at now+d.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -2
+}
+
+// Step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline if it has not yet passed it.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

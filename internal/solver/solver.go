@@ -1,0 +1,271 @@
+// Package solver demonstrates TECO's generality claim beyond MD (§VII):
+// "many applications have the above characteristic, including common
+// numerical solvers (e.g., multi-grid solver and conjugate gradient
+// solver)". It implements a CSR sparse-matrix substrate, a 2D Poisson
+// problem builder, a conjugate-gradient reference solver, and an offloaded
+// weighted-Jacobi smoother whose iterate crosses the (functional) dirty-byte
+// channel — an iterative application that tolerates the DBA approximation
+// because the iterate converges to a fixed point.
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	ColIdx []int32
+	Values []float32
+}
+
+// Poisson2D builds the standard 5-point finite-difference Laplacian on an
+// n x n interior grid (SPD, diagonally dominant).
+func Poisson2D(n int) *CSR {
+	if n <= 0 {
+		panic(fmt.Sprintf("solver: grid size %d", n))
+	}
+	N := n * n
+	m := &CSR{N: N, RowPtr: make([]int32, N+1)}
+	idx := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			row := idx(i, j)
+			add := func(col int, v float32) {
+				m.ColIdx = append(m.ColIdx, int32(col))
+				m.Values = append(m.Values, v)
+			}
+			if i > 0 {
+				add(idx(i-1, j), -1)
+			}
+			if j > 0 {
+				add(idx(i, j-1), -1)
+			}
+			add(row, 4)
+			if j < n-1 {
+				add(idx(i, j+1), -1)
+			}
+			if i < n-1 {
+				add(idx(i+1, j), -1)
+			}
+			m.RowPtr[row+1] = int32(len(m.ColIdx))
+		}
+	}
+	return m
+}
+
+// MatVec computes y = A x. This is the kernel the accelerator runs in the
+// offloaded configuration.
+func (m *CSR) MatVec(x, y []float32) {
+	if len(x) != m.N || len(y) != m.N {
+		panic(fmt.Sprintf("solver: matvec with %d/%d vectors for N=%d", len(x), len(y), m.N))
+	}
+	for i := 0; i < m.N; i++ {
+		var s float32
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Values[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal.
+func (m *CSR) Diag() []float32 {
+	d := make([]float32, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) == i {
+				d[i] = m.Values[k]
+			}
+		}
+	}
+	return d
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Values) }
+
+func dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// ResidualNorm returns ||b - A x||2.
+func ResidualNorm(m *CSR, x, b []float32) float64 {
+	r := make([]float32, m.N)
+	m.MatVec(x, r)
+	var s float64
+	for i := range r {
+		d := float64(b[i]) - float64(r[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// CG solves A x = b with the conjugate-gradient method to relative
+// tolerance tol or maxIter iterations, returning the iteration count.
+func CG(m *CSR, b, x []float32, tol float64, maxIter int) int {
+	r := make([]float32, m.N)
+	p := make([]float32, m.N)
+	q := make([]float32, m.N)
+	m.MatVec(x, q)
+	for i := range r {
+		r[i] = b[i] - q[i]
+		p[i] = r[i]
+	}
+	rr := dot(r, r)
+	b2 := math.Sqrt(dot(b, b))
+	if b2 == 0 {
+		b2 = 1
+	}
+	for it := 0; it < maxIter; it++ {
+		if math.Sqrt(rr)/b2 < tol {
+			return it
+		}
+		m.MatVec(p, q)
+		alpha := rr / dot(p, q)
+		for i := range x {
+			x[i] += float32(alpha) * p[i]
+			r[i] -= float32(alpha) * q[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + float32(beta)*p[i]
+		}
+	}
+	return maxIter
+}
+
+// OffloadConfig controls the offloaded Jacobi run.
+type OffloadConfig struct {
+	// Omega is the Jacobi damping (default 0.8).
+	Omega float64
+	// DirtyBytes applies the dirty-byte merge to the iterate transfer
+	// (4 = exact). Like MD positions, the iterate crosses as a
+	// fixed-binade scaled value so the merge is well-conditioned.
+	DirtyBytes int
+	// Bound is the known amplitude bound used for the fixed-binade
+	// scaling (default: derived from b and the diagonal).
+	Bound float64
+	// MaxIter bounds the iteration count (default 2000).
+	MaxIter int
+	// Tol is the relative residual target (default 1e-5).
+	Tol float64
+	// ActAfterIters delays the dirty-byte channel: full transfers until
+	// this iteration, DBA after — the solver analogue of act_aft_steps.
+	ActAfterIters int
+}
+
+func (c OffloadConfig) withDefaults() OffloadConfig {
+	if c.Omega == 0 {
+		c.Omega = 0.8
+	}
+	if c.DirtyBytes == 0 {
+		c.DirtyBytes = 4
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 2000
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-5
+	}
+	return c
+}
+
+// OffloadResult reports the run.
+type OffloadResult struct {
+	Iterations int
+	RelRes     float64
+	Converged  bool
+}
+
+// OffloadedJacobi solves A x = b with damped Jacobi where the accelerator
+// computes A*x from its own copy of the iterate, refreshed each iteration
+// through the dirty-byte channel — the producer/consumer offload pattern of
+// §VII with a solver workload.
+func OffloadedJacobi(m *CSR, b, x []float32, cfg OffloadConfig) OffloadResult {
+	cfg = cfg.withDefaults()
+	diag := m.Diag()
+	if cfg.Bound == 0 {
+		// Amplitude bound: ||b||inf / min diag * safety.
+		var bmax float32
+		for _, v := range b {
+			if v > bmax {
+				bmax = v
+			}
+			if -v > bmax {
+				bmax = -v
+			}
+		}
+		dmin := diag[0]
+		for _, d := range diag {
+			if d < dmin {
+				dmin = d
+			}
+		}
+		cfg.Bound = float64(bmax) / float64(dmin) * float64(m.N)
+		if cfg.Bound == 0 {
+			cfg.Bound = 1
+		}
+	}
+
+	accX := make([]float32, m.N) // accelerator's iterate copy (scaled space)
+	q := make([]float32, m.N)
+	scale := float32(1 / cfg.Bound)
+	toScaled := func(v float32) float32 { return 1 + (v*scale+1)/2 } // [-B,B] -> [1,2)
+	fromScaled := func(u float32) float32 { return ((u - 1) * 2 * float32(cfg.Bound)) - float32(cfg.Bound) }
+	mask := uint32(0)
+	if cfg.DirtyBytes < 4 {
+		mask = ^(uint32(1)<<(uint(cfg.DirtyBytes)*8) - 1)
+	}
+	// Initial full transfer: before DBA activates the accelerator holds an
+	// exact copy (the Disaggregator merges into a valid stale line).
+	for i := range x {
+		accX[i] = toScaled(x[i])
+	}
+
+	b2 := math.Sqrt(dot(b, b))
+	if b2 == 0 {
+		b2 = 1
+	}
+	res := OffloadResult{}
+	work := make([]float32, m.N)
+	for it := 0; it < cfg.MaxIter; it++ {
+		// Transfer x CPU -> accelerator; the dirty-byte channel engages
+		// once ActAfterIters iterations have passed (before that, full
+		// transfers — exactly the act_aft_steps behaviour).
+		dbaOn := mask != 0 && it >= cfg.ActAfterIters
+		for i := range x {
+			u := toScaled(x[i])
+			if dbaOn {
+				stale := math.Float32bits(accX[i])
+				fresh := math.Float32bits(u)
+				u = math.Float32frombits((stale & mask) | (fresh &^ mask))
+			}
+			accX[i] = u
+		}
+		// Accelerator kernel: q = A * accX (in problem space).
+		for i := range work {
+			work[i] = fromScaled(accX[i])
+		}
+		m.MatVec(work, q)
+		// CPU update: x += omega * D^-1 (b - q).
+		for i := range x {
+			x[i] += float32(cfg.Omega) * (b[i] - q[i]) / diag[i]
+		}
+		res.RelRes = ResidualNorm(m, x, b) / b2
+		res.Iterations = it + 1
+		if res.RelRes < cfg.Tol {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,186 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoisson2DStructure(t *testing.T) {
+	m := Poisson2D(4)
+	if m.N != 16 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Interior node (1,1) -> row 5 has 5 entries; corner row 0 has 3.
+	row := func(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+	if row(5) != 5 {
+		t.Fatalf("interior row entries = %d", row(5))
+	}
+	if row(0) != 3 {
+		t.Fatalf("corner row entries = %d", row(0))
+	}
+	// Diagonal is 4 everywhere.
+	for _, d := range m.Diag() {
+		if d != 4 {
+			t.Fatalf("diag = %v", d)
+		}
+	}
+	if m.NNZ() != len(m.Values) {
+		t.Fatal("nnz accessor")
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Poisson2D(0)
+}
+
+func TestMatVecAgainstDense(t *testing.T) {
+	m := Poisson2D(3)
+	x := make([]float32, 9)
+	for i := range x {
+		x[i] = float32(i + 1)
+	}
+	y := make([]float32, 9)
+	m.MatVec(x, y)
+	// Row 4 (center, grid (1,1)): neighbours 1,3,5,7 with -1, self 4*5.
+	want := float32(4*5 - 2 - 4 - 6 - 8)
+	if y[4] != want {
+		t.Fatalf("y[4] = %v, want %v", y[4], want)
+	}
+}
+
+func TestMatVecPanicsOnShape(t *testing.T) {
+	m := Poisson2D(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.MatVec(make([]float32, 4), make([]float32, 9))
+}
+
+func TestCGSolvesPoisson(t *testing.T) {
+	m := Poisson2D(16)
+	b := make([]float32, m.N)
+	rng := rand.New(rand.NewSource(1))
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	x := make([]float32, m.N)
+	iters := CG(m, b, x, 1e-6, 2000)
+	if iters >= 2000 {
+		t.Fatal("CG did not converge")
+	}
+	rel := ResidualNorm(m, x, b) / math.Sqrt(dot(b, b))
+	if rel > 1e-5 {
+		t.Fatalf("relative residual %g", rel)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m := Poisson2D(4)
+	x := make([]float32, m.N)
+	if CG(m, make([]float32, m.N), x, 1e-6, 100) != 0 {
+		t.Fatal("zero RHS should converge immediately")
+	}
+}
+
+func TestOffloadedJacobiExactConverges(t *testing.T) {
+	m := Poisson2D(12)
+	b := make([]float32, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float32, m.N)
+	res := OffloadedJacobi(m, b, x, OffloadConfig{Tol: 1e-4, MaxIter: 5000})
+	if !res.Converged {
+		t.Fatalf("exact Jacobi did not converge: rel %g after %d", res.RelRes, res.Iterations)
+	}
+}
+
+// TestOffloadedJacobiToleratesDBA: the §VII generality condition — the
+// iterative solver tolerates the dirty-byte approximation (3 bytes, fixed
+// binade) and still converges to the same tolerance.
+func TestOffloadedJacobiToleratesDBA(t *testing.T) {
+	m := Poisson2D(12)
+	b := make([]float32, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	exact := OffloadedJacobi(m, b, make([]float32, m.N), OffloadConfig{Tol: 1e-4, MaxIter: 5000})
+	dba := OffloadedJacobi(m, b, make([]float32, m.N), OffloadConfig{Tol: 1e-4, MaxIter: 5000, DirtyBytes: 3})
+	if !dba.Converged {
+		t.Fatalf("DBA Jacobi did not converge: rel %g", dba.RelRes)
+	}
+	// The approximation may cost some iterations but not an order of
+	// magnitude.
+	if dba.Iterations > 3*exact.Iterations {
+		t.Fatalf("DBA cost too many iterations: %d vs %d", dba.Iterations, exact.Iterations)
+	}
+}
+
+// TestDBATwoBytesLimitsAccuracy: with only 2 dirty bytes the scaled iterate
+// quantizes at ~2^-9 of the amplitude bound — the solver stalls at a higher
+// residual floor than the 3-byte channel (the dirty_bytes ablation on a
+// solver workload).
+func TestDBATwoBytesLimitsAccuracy(t *testing.T) {
+	m := Poisson2D(12)
+	b := make([]float32, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	// Activate early, while the iterate still moves through its high
+	// mantissa bytes: the 2-byte channel's quantization then feeds back
+	// into the iteration, while the 3-byte channel stays lossless
+	// (fixed-binade encoding keeps all changing bits in the low 3 bytes).
+	cfgBase := OffloadConfig{Tol: 1e-4, MaxIter: 3000, ActAfterIters: 20}
+	cfg3 := cfgBase
+	cfg3.DirtyBytes = 3
+	cfg2 := cfgBase
+	cfg2.DirtyBytes = 2
+	r3 := OffloadedJacobi(m, b, make([]float32, m.N), cfg3)
+	r2 := OffloadedJacobi(m, b, make([]float32, m.N), cfg2)
+	if !r3.Converged {
+		t.Fatalf("3-byte channel should converge like exact transfers (rel %g)", r3.RelRes)
+	}
+	if r2.Converged {
+		t.Fatal("2-byte channel should not reach 1e-4 when activated early")
+	}
+	if math.IsNaN(r2.RelRes) || math.IsInf(r2.RelRes, 0) {
+		t.Fatal("2-byte run must remain finite")
+	}
+	if r2.RelRes <= r3.RelRes {
+		t.Fatalf("2-byte floor %g should be worse than 3-byte %g", r2.RelRes, r3.RelRes)
+	}
+}
+
+// Property: CG solutions match the offloaded Jacobi fixed point.
+func TestSolversAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Poisson2D(8)
+		b := make([]float32, m.N)
+		for i := range b {
+			b[i] = float32(rng.NormFloat64())
+		}
+		xc := make([]float32, m.N)
+		CG(m, b, xc, 1e-7, 3000)
+		xj := make([]float32, m.N)
+		OffloadedJacobi(m, b, xj, OffloadConfig{Tol: 1e-6, MaxIter: 20000})
+		for i := range xc {
+			if math.Abs(float64(xc[i]-xj[i])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

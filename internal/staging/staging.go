@@ -1,0 +1,141 @@
+// Package staging implements ZeRO-Offload's software transfer machinery as
+// real data structures: the CPU-side double buffer that pipelines parameter
+// fills against DMA transfers (paper §II-A), and the GPU-side gradient
+// buffer that is "periodically filled and flushed" during backward
+// (Fig 1, phase 3). TECO's contribution is precisely that the update
+// protocol makes both unnecessary ("there is no need to use the
+// double-buffer technique ... we can avoid the frequent synchronization
+// between the two buffers and reduce software complexity", §IV-B).
+package staging
+
+import "fmt"
+
+// DoubleBuffer pipelines producer fills against consumer transfers: while
+// the producer fills one half, the other half is in flight. The zero value
+// is not usable; construct with NewDoubleBuffer.
+type DoubleBuffer struct {
+	bufs     [2][]float32
+	capacity int
+	// fillIdx is the half currently accepting writes.
+	fillIdx int
+	// used counts elements in the filling half.
+	used int
+	// inFlight marks the other half as owned by the transfer engine.
+	inFlight bool
+
+	swaps, stalls int64
+}
+
+// NewDoubleBuffer builds a double buffer of two capacity-element halves.
+func NewDoubleBuffer(capacity int) *DoubleBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("staging: capacity %d", capacity))
+	}
+	return &DoubleBuffer{
+		bufs:     [2][]float32{make([]float32, 0, capacity), make([]float32, 0, capacity)},
+		capacity: capacity,
+	}
+}
+
+// Fill appends values to the filling half, returning the number accepted
+// (fewer than len(vals) when the half becomes full — the caller must Swap
+// and retry, mirroring the synchronization the paper calls out).
+func (d *DoubleBuffer) Fill(vals []float32) int {
+	room := d.capacity - len(d.bufs[d.fillIdx])
+	n := len(vals)
+	if n > room {
+		n = room
+	}
+	d.bufs[d.fillIdx] = append(d.bufs[d.fillIdx], vals[:n]...)
+	return n
+}
+
+// Full reports whether the filling half has no room left.
+func (d *DoubleBuffer) Full() bool { return len(d.bufs[d.fillIdx]) == d.capacity }
+
+// Pending returns the element count of the filling half.
+func (d *DoubleBuffer) Pending() int { return len(d.bufs[d.fillIdx]) }
+
+// Swap hands the filling half to the transfer engine and opens the other
+// half for filling. It fails while the previous transfer is still in
+// flight (the stall the paper's double buffer suffers when transfers are
+// slower than fills).
+func (d *DoubleBuffer) Swap() ([]float32, error) {
+	if d.inFlight {
+		d.stalls++
+		return nil, fmt.Errorf("staging: previous transfer still in flight")
+	}
+	out := d.bufs[d.fillIdx]
+	if len(out) == 0 {
+		return nil, fmt.Errorf("staging: nothing to transfer")
+	}
+	d.inFlight = true
+	d.fillIdx = 1 - d.fillIdx
+	d.bufs[d.fillIdx] = d.bufs[d.fillIdx][:0]
+	d.swaps++
+	return out, nil
+}
+
+// Complete signals that the in-flight transfer finished.
+func (d *DoubleBuffer) Complete() {
+	d.inFlight = false
+}
+
+// Stats returns (successful swaps, stalled swap attempts).
+func (d *DoubleBuffer) Stats() (swaps, stalls int64) { return d.swaps, d.stalls }
+
+// GradientBuffer is the GPU-side accumulation buffer: backward appends
+// gradients; when the buffer fills, it flushes (one bulk transfer) and
+// resets. Flush order is preserved.
+type GradientBuffer struct {
+	buf      []float32
+	capacity int
+	flushes  int64
+	flushed  int64
+	onFlush  func([]float32)
+}
+
+// NewGradientBuffer builds a buffer that calls onFlush with each full (or
+// final partial) chunk. onFlush must copy if it retains the slice.
+func NewGradientBuffer(capacity int, onFlush func([]float32)) *GradientBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("staging: capacity %d", capacity))
+	}
+	if onFlush == nil {
+		onFlush = func([]float32) {}
+	}
+	return &GradientBuffer{buf: make([]float32, 0, capacity), capacity: capacity, onFlush: onFlush}
+}
+
+// Append adds gradients, flushing every time the buffer fills.
+func (g *GradientBuffer) Append(vals []float32) {
+	for len(vals) > 0 {
+		room := g.capacity - len(g.buf)
+		n := len(vals)
+		if n > room {
+			n = room
+		}
+		g.buf = append(g.buf, vals[:n]...)
+		vals = vals[n:]
+		if len(g.buf) == g.capacity {
+			g.flush()
+		}
+	}
+}
+
+// FlushRemaining pushes out a final partial buffer (end of backward).
+func (g *GradientBuffer) FlushRemaining() {
+	if len(g.buf) > 0 {
+		g.flush()
+	}
+}
+
+func (g *GradientBuffer) flush() {
+	g.flushes++
+	g.flushed += int64(len(g.buf))
+	g.onFlush(g.buf)
+	g.buf = g.buf[:0]
+}
+
+// Stats returns (flush count, total elements flushed).
+func (g *GradientBuffer) Stats() (flushes, elements int64) { return g.flushes, g.flushed }

@@ -1,0 +1,176 @@
+package staging
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDoubleBufferPipelining(t *testing.T) {
+	d := NewDoubleBuffer(4)
+	if n := d.Fill([]float32{1, 2, 3, 4, 5}); n != 4 {
+		t.Fatalf("accepted %d, want 4", n)
+	}
+	if !d.Full() {
+		t.Fatal("buffer should be full")
+	}
+	chunk, err := d.Swap()
+	if err != nil || len(chunk) != 4 {
+		t.Fatalf("swap: %v %v", chunk, err)
+	}
+	// Other half now accepts fills while the first is in flight.
+	if n := d.Fill([]float32{5}); n != 1 {
+		t.Fatal("fill after swap failed")
+	}
+	// A second swap before Complete stalls — the paper's buffer sync.
+	if _, err := d.Swap(); err == nil {
+		t.Fatal("swap during in-flight transfer must stall")
+	}
+	d.Complete()
+	if _, err := d.Swap(); err != nil {
+		t.Fatalf("swap after completion: %v", err)
+	}
+	swaps, stalls := d.Stats()
+	if swaps != 2 || stalls != 1 {
+		t.Fatalf("swaps=%d stalls=%d", swaps, stalls)
+	}
+}
+
+func TestDoubleBufferEmptySwap(t *testing.T) {
+	d := NewDoubleBuffer(4)
+	if _, err := d.Swap(); err == nil {
+		t.Fatal("empty swap must fail")
+	}
+}
+
+func TestDoubleBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDoubleBuffer(0)
+}
+
+// Property: every value filled is transferred exactly once, in order.
+func TestDoubleBufferConservationProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDoubleBuffer(capacity)
+		var sent, received []float32
+		for i := 0; i < 200; i++ {
+			v := []float32{float32(rng.NormFloat64())}
+			for d.Fill(v) == 0 {
+				chunk, err := d.Swap()
+				if err != nil {
+					d.Complete() // transfer engine catches up
+					continue
+				}
+				received = append(received, chunk...)
+				d.Complete()
+			}
+			sent = append(sent, v[0])
+		}
+		// Drain.
+		if chunk, err := d.Swap(); err == nil {
+			received = append(received, chunk...)
+			d.Complete()
+		}
+		if len(sent) != len(received) {
+			return false
+		}
+		for i := range sent {
+			if sent[i] != received[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradientBufferFlushing(t *testing.T) {
+	var flushed [][]float32
+	g := NewGradientBuffer(4, func(chunk []float32) {
+		cp := make([]float32, len(chunk))
+		copy(cp, chunk)
+		flushed = append(flushed, cp)
+	})
+	g.Append([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	g.FlushRemaining()
+	if len(flushed) != 3 {
+		t.Fatalf("flushes = %d", len(flushed))
+	}
+	if len(flushed[0]) != 4 || len(flushed[2]) != 1 {
+		t.Fatalf("chunk sizes: %d, %d", len(flushed[0]), len(flushed[2]))
+	}
+	flushes, elems := g.Stats()
+	if flushes != 3 || elems != 9 {
+		t.Fatalf("stats = %d/%d", flushes, elems)
+	}
+	// Order preserved.
+	want := float32(1)
+	for _, c := range flushed {
+		for _, v := range c {
+			if v != want {
+				t.Fatalf("order broken: %v != %v", v, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestGradientBufferNilCallback(t *testing.T) {
+	g := NewGradientBuffer(2, nil)
+	g.Append([]float32{1, 2, 3})
+	g.FlushRemaining()
+	if f, e := g.Stats(); f != 2 || e != 3 {
+		t.Fatalf("stats = %d/%d", f, e)
+	}
+}
+
+func TestGradientBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGradientBuffer(-1, nil)
+}
+
+// Property: the gradient buffer conserves and orders all appended values.
+func TestGradientBufferConservationProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw)%32 + 1
+		rng := rand.New(rand.NewSource(seed))
+		var out []float32
+		g := NewGradientBuffer(capacity, func(chunk []float32) {
+			out = append(out, chunk...)
+		})
+		var in []float32
+		for i := 0; i < 50; i++ {
+			batch := make([]float32, rng.Intn(20))
+			for j := range batch {
+				batch[j] = float32(rng.NormFloat64())
+			}
+			in = append(in, batch...)
+			g.Append(batch)
+		}
+		g.FlushRemaining()
+		if len(in) != len(out) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package tensor provides FP32 tensors with byte-level views, the
+// value-changed-byte classification behind the paper's Figure 2, and the
+// FP16 conversion used by mixed-precision training (paper §V, "About
+// mixed-precision training").
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"teco/internal/mem"
+)
+
+// Tensor is a named, flat FP32 tensor.
+type Tensor struct {
+	name string
+	data []float32
+}
+
+// New allocates a zeroed tensor of n elements.
+func New(name string, n int) *Tensor {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: negative size %d", n))
+	}
+	return &Tensor{name: name, data: make([]float32, n)}
+}
+
+// FromSlice wraps (not copies) an existing slice.
+func FromSlice(name string, data []float32) *Tensor {
+	return &Tensor{name: name, data: data}
+}
+
+// Name returns the tensor's name.
+func (t *Tensor) Name() string { return t.name }
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Bytes returns the byte footprint (4 bytes per FP32 element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// Lines returns the number of 64-byte cache lines covering the tensor.
+func (t *Tensor) Lines() int64 { return mem.LinesIn(t.Bytes()) }
+
+// Data returns the underlying slice (shared, not copied).
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns element i.
+func (t *Tensor) At(i int) float32 { return t.data[i] }
+
+// Set stores v at element i.
+func (t *Tensor) Set(i int, v float32) { t.data[i] = v }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.data))
+	copy(d, t.data)
+	return &Tensor{name: t.name, data: d}
+}
+
+// CopyFrom copies src's elements into t; lengths must match.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: copy %d into %d elements", len(src.data), len(t.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// EncodeLine serializes elements [16*line, 16*line+16) into a 64-byte
+// little-endian cache-line image, zero-padding past the end of the tensor.
+func (t *Tensor) EncodeLine(line int64) []byte {
+	buf := make([]byte, mem.LineSize)
+	base := int(line) * 16
+	for i := 0; i < 16; i++ {
+		idx := base + i
+		if idx >= len(t.data) {
+			break
+		}
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(t.data[idx]))
+	}
+	return buf
+}
+
+// DecodeLine overwrites elements [16*line, ...) from a 64-byte image,
+// ignoring bytes past the end of the tensor.
+func (t *Tensor) DecodeLine(line int64, buf []byte) {
+	if len(buf) != mem.LineSize {
+		panic(fmt.Sprintf("tensor: line buffer %dB", len(buf)))
+	}
+	base := int(line) * 16
+	for i := 0; i < 16; i++ {
+		idx := base + i
+		if idx >= len(t.data) {
+			break
+		}
+		t.data[idx] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Value-changed-byte classification (paper Figure 2).
+
+// ChangeClass categorizes how a 4-byte FP32 value changed between two
+// consecutive training steps.
+type ChangeClass int
+
+const (
+	// Unchanged: the value is bit-identical.
+	Unchanged ChangeClass = iota
+	// LastByte: only the least-significant byte changed (Fig 2 case 1).
+	LastByte
+	// LastTwoBytes: changes confined to the two least-significant bytes,
+	// touching the second byte (Fig 2 case 2).
+	LastTwoBytes
+	// Other: any change reaching the exponent/sign or high-mantissa bytes
+	// (Fig 2 case 3).
+	Other
+	numChangeClasses
+)
+
+func (c ChangeClass) String() string {
+	switch c {
+	case Unchanged:
+		return "unchanged"
+	case LastByte:
+		return "last-byte"
+	case LastTwoBytes:
+		return "last-two-bytes"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("ChangeClass(%d)", int(c))
+	}
+}
+
+// Classify compares old and new FP32 values byte-wise (little-endian
+// significance order) and returns the Fig 2 class.
+func Classify(old, new float32) ChangeClass {
+	x := math.Float32bits(old) ^ math.Float32bits(new)
+	switch {
+	case x == 0:
+		return Unchanged
+	case x&0xFFFFFF00 == 0:
+		return LastByte
+	case x&0xFFFF0000 == 0:
+		return LastTwoBytes
+	default:
+		return Other
+	}
+}
+
+// Distribution counts values per change class for one step pair.
+type Distribution struct {
+	Counts [4]int64
+}
+
+// Observe accumulates the classification of one (old, new) pair.
+func (d *Distribution) Observe(old, new float32) {
+	d.Counts[Classify(old, new)]++
+}
+
+// ObserveTensors accumulates element-wise classifications of two tensors of
+// equal length.
+func (d *Distribution) ObserveTensors(old, new *Tensor) {
+	if old.Len() != new.Len() {
+		panic("tensor: distribution over mismatched tensors")
+	}
+	for i, ov := range old.data {
+		d.Observe(ov, new.data[i])
+	}
+}
+
+// Total returns the number of observations.
+func (d *Distribution) Total() int64 {
+	var n int64
+	for _, c := range d.Counts {
+		n += c
+	}
+	return n
+}
+
+// Changed returns the number of value-changed observations.
+func (d *Distribution) Changed() int64 { return d.Total() - d.Counts[Unchanged] }
+
+// FracOfChanged returns the fraction of *changed* values in class c — the
+// quantity Fig 2 plots ("among those value-changed parameters...").
+func (d *Distribution) FracOfChanged(c ChangeClass) float64 {
+	ch := d.Changed()
+	if ch == 0 {
+		return 0
+	}
+	return float64(d.Counts[c]) / float64(ch)
+}
+
+// FracUnchanged returns the fraction of all values that did not change —
+// the paper's "44.5% of parameters do not change values" observation.
+func (d *Distribution) FracUnchanged() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d.Counts[Unchanged]) / float64(t)
+}
+
+// Add merges another distribution into d.
+func (d *Distribution) Add(o Distribution) {
+	for i := range d.Counts {
+		d.Counts[i] += o.Counts[i]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FP16 (IEEE 754 binary16) conversion for mixed-precision modelling.
+
+// ToFloat16 converts an FP32 value to its binary16 bit pattern with
+// round-to-nearest-even, handling subnormals, infinities and NaN.
+func ToFloat16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xFF
+	man := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf / NaN
+		if man != 0 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	case exp == 0 && man == 0:
+		return sign // signed zero
+	}
+
+	// Unbias, rebias for binary16.
+	e := exp - 127 + 15
+	if e >= 0x1F {
+		return sign | 0x7C00 // overflow to infinity
+	}
+	if e <= 0 {
+		// Subnormal (or underflow to zero).
+		if e < -10 {
+			return sign
+		}
+		man |= 0x800000 // implicit leading 1
+		shift := uint32(14 - e)
+		half := uint32(1) << (shift - 1)
+		v := man >> shift
+		// Round to nearest even.
+		if man&(half*2-1) > half || (man&(half*2-1) == half && v&1 == 1) {
+			v++
+		}
+		return sign | uint16(v)
+	}
+	// Normal: keep top 10 mantissa bits, round to nearest even.
+	v := uint32(e)<<10 | man>>13
+	rem := man & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+		v++ // may carry into the exponent; that is correct rounding
+	}
+	if v >= 0x7C00 {
+		return sign | 0x7C00
+	}
+	return sign | uint16(v)
+}
+
+// FromFloat16 converts a binary16 bit pattern to FP32 exactly.
+func FromFloat16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	man := uint32(h & 0x3FF)
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7FC00000)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	}
+	return math.Float32frombits(sign | (exp-15+127)<<23 | man<<13)
+}
+
+// RoundTripFP16 converts through binary16 and back, the precision loss a
+// GPU-side FP32->FP16 parameter copy incurs.
+func RoundTripFP16(f float32) float32 { return FromFloat16(ToFloat16(f)) }

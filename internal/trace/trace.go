@@ -1,0 +1,172 @@
+// Package trace records and replays timed cache-line writeback traces —
+// the interface between the CPU/GPU simulators and the CXL emulator in the
+// paper's methodology (§VIII-A: "we collect the timing and amount of these
+// writebacks by generating a trace of main memory accesses during CPU
+// simulation ... The trace contains the timings and addresses of memory
+// loads/stores"). Traces serialize to a compact line-oriented text format
+// so runs are reproducible and diffable.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"teco/internal/cxl"
+	"teco/internal/mem"
+	"teco/internal/sim"
+)
+
+// Op is a memory access kind.
+type Op byte
+
+const (
+	// Load is a read from memory.
+	Load Op = 'L'
+	// Store is a write (for the CXL replay: a dirty writeback).
+	Store Op = 'S'
+)
+
+// Record is one timed memory access.
+type Record struct {
+	At   sim.Time
+	Op   Op
+	Line mem.LineAddr
+}
+
+// Trace is an ordered sequence of records.
+type Trace struct {
+	recs []Record
+}
+
+// Append adds a record; timestamps may arrive unordered and are sorted at
+// replay/serialization time.
+func (t *Trace) Append(at sim.Time, op Op, line mem.LineAddr) {
+	t.recs = append(t.recs, Record{At: at, Op: op, Line: line})
+}
+
+// Len returns the record count.
+func (t *Trace) Len() int { return len(t.recs) }
+
+// Records returns the records sorted by time (stable).
+func (t *Trace) Records() []Record {
+	out := make([]Record, len(t.recs))
+	copy(out, t.recs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Stores returns only the store records, time-sorted.
+func (t *Trace) Stores() []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if r.Op == Store {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Write serializes the trace: one "<ps> <op> <line>" row per record.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Records() {
+		if _, err := fmt.Fprintf(bw, "%d %c %d\n", int64(r.At), r.Op, uint64(r.Line)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serialized trace.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		var at int64
+		var op byte
+		var line uint64
+		if _, err := fmt.Sscanf(sc.Text(), "%d %c %d", &at, &op, &line); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		if op != byte(Load) && op != byte(Store) {
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, op)
+		}
+		t.Append(sim.Time(at), Op(op), mem.LineAddr(line))
+	}
+	return t, sc.Err()
+}
+
+// ReplayResult summarizes replaying a writeback trace over the CXL link.
+type ReplayResult struct {
+	// Lines is the number of writebacks replayed.
+	Lines int64
+	// Bytes is the payload volume.
+	Bytes int64
+	// Finish is when the last transfer completes.
+	Finish sim.Time
+	// ExposedAfter is Finish minus the last producer timestamp: the
+	// drain tail a CXLFENCE at the end of the producing phase waits for.
+	ExposedAfter sim.Time
+	// Stall is total producer back-pressure from the pending queue.
+	Stall sim.Time
+}
+
+// ReplayOverCXL replays the trace's stores through a timed CXL link — the
+// paper's process.py. payloadPerLine is the on-link bytes per 64-byte
+// writeback (64, or 32 under DBA with dirty_bytes=2); extra is added per
+// transfer (Aggregator latency).
+func ReplayOverCXL(t *Trace, link *cxl.Link, payloadPerLine int, extra sim.Time) ReplayResult {
+	var res ReplayResult
+	var lastReady sim.Time
+	for _, r := range t.Stores() {
+		_, done := link.Send(r.At, payloadPerLine, extra)
+		res.Lines++
+		res.Bytes += int64(payloadPerLine)
+		if done > res.Finish {
+			res.Finish = done
+		}
+		if r.At > lastReady {
+			lastReady = r.At
+		}
+	}
+	if res.Finish > lastReady {
+		res.ExposedAfter = res.Finish - lastReady
+	}
+	_, _, _, stall := link.Stats()
+	res.Stall = stall
+	return res
+}
+
+// FromUpdateChunks synthesizes a writeback trace from layer-granular
+// update chunks (start offset + per-chunk ready times), splitting each
+// chunk into line-granular stores spread uniformly across its window. The
+// lines per chunk are capped to keep huge models tractable; cap <= 0 means
+// one record per cache line.
+func FromUpdateChunks(start sim.Time, readyAt []sim.Time, bytes []int64, base mem.LineAddr, cap int) *Trace {
+	if len(readyAt) != len(bytes) {
+		panic("trace: mismatched chunk schedule")
+	}
+	t := &Trace{}
+	prev := sim.Time(0)
+	next := base
+	for i := range readyAt {
+		lines := mem.LinesIn(bytes[i])
+		n := lines
+		if cap > 0 && n > int64(cap) {
+			n = int64(cap)
+		}
+		window := readyAt[i] - prev
+		for k := int64(0); k < n; k++ {
+			at := start + prev + sim.Time(int64(window)*(k+1)/n)
+			t.Append(at, Store, next+mem.LineAddr(k*lines/n))
+		}
+		prev = readyAt[i]
+		next += mem.LineAddr(lines)
+	}
+	return t
+}

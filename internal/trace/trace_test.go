@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"teco/internal/cxl"
+	"teco/internal/mem"
+	"teco/internal/sim"
+)
+
+func TestAppendAndSort(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(30, Store, 3)
+	tr.Append(10, Load, 1)
+	tr.Append(20, Store, 2)
+	if tr.Len() != 3 {
+		t.Fatal("len")
+	}
+	recs := tr.Records()
+	if recs[0].Line != 1 || recs[1].Line != 2 || recs[2].Line != 3 {
+		t.Fatalf("not sorted: %+v", recs)
+	}
+	st := tr.Stores()
+	if len(st) != 2 || st[0].Line != 2 {
+		t.Fatalf("stores: %+v", st)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(100, Store, 42)
+	tr.Append(200, Load, 7)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatal("len after read")
+	}
+	recs := got.Records()
+	if recs[0].At != 100 || recs[0].Op != Store || recs[0].Line != 42 {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := Read(strings.NewReader("10 X 5\n")); err == nil {
+		t.Fatal("bad op must error")
+	}
+	tr, err := Read(strings.NewReader(""))
+	if err != nil || tr.Len() != 0 {
+		t.Fatal("empty trace should parse")
+	}
+}
+
+func TestReplayOverCXL(t *testing.T) {
+	tr := &Trace{}
+	// 100 stores all ready at t=0: the link serializes them.
+	for i := 0; i < 100; i++ {
+		tr.Append(0, Store, mem.LineAddr(i))
+	}
+	link := cxl.NewLink(sim.New(), 16e9, 0)
+	res := ReplayOverCXL(tr, link, 64, 0)
+	if res.Lines != 100 || res.Bytes != 6400 {
+		t.Fatalf("lines=%d bytes=%d", res.Lines, res.Bytes)
+	}
+	want := sim.DurationForBytes(6400, 16e9)
+	if res.Finish < want*99/100 || res.Finish > want*101/100 {
+		t.Fatalf("finish = %v, want ~%v", res.Finish, want)
+	}
+	if res.ExposedAfter != res.Finish {
+		t.Fatal("all exposure is after the (instantaneous) producer")
+	}
+}
+
+func TestReplayDBASmallerFinish(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 1000; i++ {
+		tr.Append(0, Store, mem.LineAddr(i))
+	}
+	full := ReplayOverCXL(tr, cxl.NewLink(sim.New(), 16e9, 0), 64, 0)
+	dba := ReplayOverCXL(tr, cxl.NewLink(sim.New(), 16e9, 0), 32, sim.Nanosecond)
+	if dba.Finish >= full.Finish {
+		t.Fatalf("DBA replay %v must beat full %v", dba.Finish, full.Finish)
+	}
+	if dba.Bytes*2 != full.Bytes {
+		t.Fatal("volume halved")
+	}
+}
+
+func TestReplaySpreadProducer(t *testing.T) {
+	// Producer slower than the link: exposure is only the last transfer.
+	tr := &Trace{}
+	gap := 10 * sim.Microsecond
+	for i := 0; i < 10; i++ {
+		tr.Append(sim.Time(i+1)*gap, Store, mem.LineAddr(i))
+	}
+	link := cxl.NewLink(sim.New(), 16e9, 0)
+	res := ReplayOverCXL(tr, link, 64, 0)
+	lineTime := link.ServiceTime(64, 0)
+	if res.ExposedAfter != lineTime {
+		t.Fatalf("exposure = %v, want one line time %v", res.ExposedAfter, lineTime)
+	}
+}
+
+func TestFromUpdateChunks(t *testing.T) {
+	ready := []sim.Time{100, 200}
+	bytesPer := []int64{640, 640} // 10 lines each
+	tr := FromUpdateChunks(1000, ready, bytesPer, 50, 0)
+	if tr.Len() != 20 {
+		t.Fatalf("records = %d", tr.Len())
+	}
+	recs := tr.Records()
+	if recs[0].At <= 1000 {
+		t.Fatal("records must start after the phase offset")
+	}
+	if last := recs[len(recs)-1].At; last != 1200 {
+		t.Fatalf("last record at %v, want phase start + final ready", last)
+	}
+	// Line addresses within the region.
+	for _, r := range recs {
+		if r.Line < 50 || r.Line >= 70 {
+			t.Fatalf("line %d outside region", r.Line)
+		}
+	}
+}
+
+func TestFromUpdateChunksCapped(t *testing.T) {
+	tr := FromUpdateChunks(0, []sim.Time{100}, []int64{64 * 1000}, 0, 10)
+	if tr.Len() != 10 {
+		t.Fatalf("capped records = %d", tr.Len())
+	}
+}
+
+func TestFromUpdateChunksMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromUpdateChunks(0, []sim.Time{1}, nil, 0, 0)
+}

@@ -1,0 +1,49 @@
+package zero
+
+import (
+	"teco/internal/modelzoo"
+	"teco/internal/phases"
+	"teco/internal/sim"
+)
+
+// StepDPU simulates a ZeRO-Offload step with the one-step Delayed Parameter
+// Update (paper §II-A): the CPU optimizer and the parameter transfer for
+// step i overlap with the GPU compute of step i+1, which computes with
+// parameters from step i-1.
+//
+// DPU's effectiveness "requires significantly large batch sizes to achieve
+// enough arithmetic intensity on GPU": the steady-state step time is the
+// max of the GPU chain and the CPU+transfer chain, so with small batches
+// the CPU side dominates and the overlap buys little. DPU also "raises the
+// risk of changing DL model convergence", which is why the paper's TECO
+// avoids it; the numerical side of that risk can be explored with
+// realtrain.Config's staleness knobs.
+func (e *Engine) StepDPU(m modelzoo.Model, batch int) phases.StepResult {
+	plain := e.Step(m, batch)
+
+	// GPU chain: fwd + bwd + the exposed gradient tail (unchanged by DPU).
+	gpuChain := plain.Fwd + plain.Bwd + plain.Grad
+	// CPU chain: clip + ADAM + the parameter push, now off the GPU's
+	// critical path.
+	cpuChain := plain.Clip + plain.Adam + plain.Prm
+
+	b := plain.Breakdown
+	if gpuChain >= cpuChain {
+		// GPU-bound steady state: CPU work fully hidden.
+		b.Clip, b.Adam, b.Prm = 0, 0, 0
+	} else {
+		// CPU-bound: the GPU waits; attribute the exposed remainder to
+		// the CPU phases proportionally, keeping the breakdown additive.
+		exposed := cpuChain - gpuChain
+		scale := float64(exposed) / float64(cpuChain)
+		b.Clip = sim.Time(float64(plain.Clip) * scale)
+		b.Adam = sim.Time(float64(plain.Adam) * scale)
+		b.Prm = sim.Time(float64(plain.Prm) * scale)
+	}
+	return phases.StepResult{
+		Variant:        phases.ZeroOffload,
+		Breakdown:      b,
+		ParamLinkBytes: plain.ParamLinkBytes,
+		GradLinkBytes:  plain.GradLinkBytes,
+	}
+}

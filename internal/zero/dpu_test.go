@@ -1,0 +1,70 @@
+package zero
+
+import (
+	"testing"
+
+	"teco/internal/modelzoo"
+)
+
+func TestDPUNeverSlower(t *testing.T) {
+	e := NewEngine()
+	for _, m := range modelzoo.EvaluationModels() {
+		b := 4
+		if m.FullGraphOnly {
+			b = 1
+		}
+		plain := e.Step(m, b)
+		dpu := e.StepDPU(m, b)
+		if dpu.Total() > plain.Total() {
+			t.Errorf("%s: DPU slower (%v > %v)", m.Name, dpu.Total(), plain.Total())
+		}
+	}
+}
+
+// TestDPUNeedsLargeBatch: the paper's point — DPU only fully hides the CPU
+// side when GPU arithmetic intensity is high enough.
+func TestDPUNeedsLargeBatch(t *testing.T) {
+	e := NewEngine()
+	m := modelzoo.BertLargeCased()
+
+	small := e.StepDPU(m, 4)
+	// At batch 4 the CPU chain is not fully hidden: CPU-phase exposure
+	// remains on the critical path.
+	if small.Clip+small.Adam+small.Prm == 0 {
+		t.Fatal("batch 4 should leave CPU work exposed (low arithmetic intensity)")
+	}
+
+	large := e.StepDPU(m, 20)
+	// At batch 20 the GPU chain dominates and the CPU side hides.
+	if large.Clip+large.Adam+large.Prm != 0 {
+		t.Fatalf("batch 20 should hide the CPU chain, exposed %v",
+			large.Clip+large.Adam+large.Prm)
+	}
+}
+
+// TestTECOBeatsDPUAtSmallBatch: even granting the baseline DPU (as the
+// paper's evaluation does), TECO-Reduction still wins where it matters —
+// small per-GPU batches.
+func TestTECOBeatsDPUAtSmallBatch(t *testing.T) {
+	e := NewEngine()
+	m := modelzoo.BertLargeCased()
+	dpu := e.StepDPU(m, 4)
+	if dpu.Total() <= e.Step(m, 4).Total()/2 {
+		t.Fatal("DPU benefit implausibly large")
+	}
+	// TECO comparison lives in internal/core tests; here just pin that
+	// DPU does not erase the communication problem at batch 4.
+	if dpu.CommExposed() == 0 && dpu.Adam == 0 {
+		t.Fatal("DPU at batch 4 should not hide everything")
+	}
+}
+
+func TestDPUBreakdownAdditive(t *testing.T) {
+	e := NewEngine()
+	m := modelzoo.T5Large()
+	r := e.StepDPU(m, 8)
+	sum := r.Fwd + r.Bwd + r.Grad + r.Clip + r.Adam + r.Prm
+	if sum != r.Total() {
+		t.Fatalf("breakdown not additive: %v vs %v", sum, r.Total())
+	}
+}

@@ -1,0 +1,112 @@
+// Package zero simulates the ZeRO-Offload baseline: the five-phase training
+// step of the paper's Figure 1, with the GPU-side gradient buffer, the
+// CPU-side double-buffered parameter transfer, and bulk PCIe DMA. Its two
+// exposure mechanisms are exactly the paper's two identified problems:
+// coarse-grained transfers (buffer-granular gradient flushes that overlap
+// only part of backward) and full-volume parameter pushes serialized after
+// the ADAM pass.
+package zero
+
+import (
+	"teco/internal/cpusim"
+	"teco/internal/cxl"
+	"teco/internal/gpusim"
+	"teco/internal/modelzoo"
+	"teco/internal/phases"
+	"teco/internal/sim"
+)
+
+// Engine simulates ZeRO-Offload training steps.
+type Engine struct {
+	GPU *gpusim.GPU
+	CPU *cpusim.CPU
+	// LinkBandwidth is the effective DMA bandwidth over PCIe 3.0 x16.
+	LinkBandwidth float64
+	// OverlapFraction is the share of backward time the coarse
+	// (buffer-flush-granular) gradient transfers overlap with.
+	OverlapFraction float64
+	// GradBufferBytes / ParamBufferBytes are the transfer granularities.
+	GradBufferBytes  int64
+	ParamBufferBytes int64
+}
+
+// NewEngine returns an engine with the calibrated defaults.
+func NewEngine() *Engine {
+	return &Engine{
+		GPU:              gpusim.V100(),
+		CPU:              cpusim.Xeon6120(),
+		LinkBandwidth:    modelzoo.BaselineLinkBandwidth(),
+		OverlapFraction:  modelzoo.BaselineOverlapFraction,
+		GradBufferBytes:  modelzoo.GradBufferBytes,
+		ParamBufferBytes: modelzoo.ParamBufferBytes,
+	}
+}
+
+// Step simulates one training step and returns its critical-path breakdown.
+func (e *Engine) Step(m modelzoo.Model, batch int) phases.StepResult {
+	eng := sim.New()
+	up := cxl.NewLink(eng, e.LinkBandwidth, 1<<20)   // GPU -> CPU (gradients)
+	down := cxl.NewLink(eng, e.LinkBandwidth, 1<<20) // CPU -> GPU (parameters)
+
+	fwd := e.GPU.ForwardTime(m, batch)
+	bwd := e.GPU.BackwardTime(m, batch)
+	bwdStart := fwd
+	bwdEnd := fwd + bwd
+
+	// Phase 2+3: backward produces gradients; the gradient buffer is
+	// "periodically filled and flushed". Coarse granularity delays the
+	// first flush: transfers effectively start only in the final
+	// OverlapFraction of backward.
+	delay := sim.Time(float64(bwd) * (1 - e.OverlapFraction))
+	for _, ch := range e.GPU.GradientSchedule(m, batch) {
+		ready := bwdStart + delay + sim.Time(float64(ch.ReadyAt)*e.OverlapFraction)
+		up.Send(ready, int(ch.Bytes), 0)
+	}
+	gradDone := up.Fence(bwdEnd)
+	gradExposed := gradDone - bwdEnd
+
+	// Phase 4: clip on CPU once all gradients arrived.
+	clip := e.CPU.ClipTime(m.Params)
+	clipEnd := gradDone + clip
+
+	// Phase 5a: full ADAM pass on CPU.
+	adam := e.CPU.AdamTime(m.Params)
+	adamEnd := clipEnd + adam
+
+	// Phase 5b: double-buffered fill + transfer. Fill overlaps transfer
+	// (two staging buffers), but nothing overlaps the ADAM pass — the
+	// paper's "parameter transfer is largely exposed to the critical
+	// path".
+	remaining := m.ParamBytes()
+	fillFree := [2]sim.Time{adamEnd, adamEnd}
+	var paramDone sim.Time = adamEnd
+	slot := 0
+	for remaining > 0 {
+		b := e.ParamBufferBytes
+		if b > remaining {
+			b = remaining
+		}
+		remaining -= b
+		fillDone := fillFree[slot] + e.CPU.FillTime(b)
+		_, done := down.Send(fillDone, int(b), 0)
+		// The buffer slot frees when its transfer completes.
+		fillFree[slot] = done
+		slot = 1 - slot
+		paramDone = done
+	}
+	paramExposed := paramDone - adamEnd
+
+	return phases.StepResult{
+		Variant: phases.ZeroOffload,
+		Breakdown: phases.Breakdown{
+			Fwd:  fwd,
+			Bwd:  bwd,
+			Grad: gradExposed,
+			Clip: clip,
+			Adam: adam,
+			Prm:  paramExposed,
+		},
+		ParamLinkBytes: m.ParamBytes(),
+		GradLinkBytes:  m.GradBytes(),
+	}
+}
