@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments loc
+.PHONY: all build vet test test-short bench check experiments loc
 
 all: build vet test
+
+# Full verification gate: vet, race-enabled tests (-short skips the long
+# numeric-training runs, which are single-threaded and covered by `test`),
+# and a short native fuzz run over the CXL packet decoder.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short -timeout 20m ./...
+	$(GO) test -fuzz='FuzzDecode$$' -fuzztime=10s ./internal/cxl
+	$(GO) test -fuzz='FuzzDecodeFramed$$' -fuzztime=10s ./internal/cxl
 
 build:
 	$(GO) build ./...
@@ -29,6 +38,7 @@ experiments:
 	$(GO) run ./cmd/tecosim -markdown ablation-dpu
 	$(GO) run ./cmd/tecosim -markdown time-to-loss
 	$(GO) run ./cmd/tecosim -markdown linkspeed
+	$(GO) run ./cmd/tecosim -markdown -degrade faults
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

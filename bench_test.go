@@ -136,7 +136,7 @@ func BenchmarkFig13(b *testing.B) {
 	m := modelzoo.GPT2()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.NewEngine(core.Config{DBA: true}).Step(m, 4)
+		core.MustEngine(core.Config{DBA: true}).Step(m, 4)
 	}
 }
 
@@ -189,7 +189,10 @@ func BenchmarkDisaggregator(b *testing.B) {
 func BenchmarkCXLPacketRoundTrip(b *testing.B) {
 	p := cxl.Packet{Addr: 42, Aggregated: true, DirtyBytes: 2, Payload: make([]byte, 32)}
 	for i := 0; i < b.N; i++ {
-		buf := p.Encode()
+		buf, err := p.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := cxl.Decode(buf); err != nil {
 			b.Fatal(err)
 		}
@@ -251,7 +254,7 @@ func BenchmarkZeroOffloadStep(b *testing.B) {
 // BenchmarkTECOStep measures the TECO simulator itself.
 func BenchmarkTECOStep(b *testing.B) {
 	m := modelzoo.BertLargeCased()
-	e := core.NewEngine(core.Config{DBA: true})
+	e := core.MustEngine(core.Config{DBA: true})
 	for i := 0; i < b.N; i++ {
 		e.Step(m, 4)
 	}

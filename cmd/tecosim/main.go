@@ -21,8 +21,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed for the real-training experiments")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of aligned text")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	ber := flag.Float64("ber", 0, "link bit-error rate for the fault sweep (0: default grid)")
+	retryBudget := flag.Int("retry-budget", 0, "link-layer retransmit budget before poisoning (0: default 8)")
+	degrade := flag.Bool("degrade", false, "enable graceful degradation from DBA to full-line transfers under faults")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-ber R] [-retry-budget N] [-degrade] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 		flag.PrintDefaults()
 	}
@@ -38,7 +41,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tabs, err := experiments.ByID(flag.Arg(0), *seed)
+	tabs, err := experiments.ByIDWith(flag.Arg(0), experiments.Options{
+		Seed:        *seed,
+		BER:         *ber,
+		RetryBudget: *retryBudget,
+		Degrade:     *degrade,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -125,6 +125,17 @@ type Domain struct {
 	msgs      [numMsgTypes]int64
 	transfers int64
 	onDemand  int64
+
+	// Link-fault recovery accounting: retransmitted update pushes (NAKed
+	// by the link layer and replayed), pushes poisoned after retry-budget
+	// exhaustion, and poisoned lines later recovered through the
+	// on-demand fetch path.
+	retransmits     int64
+	poisons         int64
+	poisonRecovered int64
+	// poisonedLines tracks lines whose last push was poisoned, so their
+	// eventual on-demand recovery can be attributed.
+	poisonedLines map[mem.LineAddr]struct{}
 }
 
 // Config configures a Domain.
@@ -164,12 +175,13 @@ func NewDomain(cfg Config) *Domain {
 		sink = func(Transfer) {}
 	}
 	return &Domain{
-		mode:    cfg.Mode,
-		addrMap: cfg.AddrMap,
-		cpu:     cc,
-		giant:   gc,
-		sink:    sink,
-		snoop:   make(map[mem.LineAddr]uint8),
+		mode:          cfg.Mode,
+		addrMap:       cfg.AddrMap,
+		cpu:           cc,
+		giant:         gc,
+		sink:          sink,
+		snoop:         make(map[mem.LineAddr]uint8),
+		poisonedLines: make(map[mem.LineAddr]struct{}),
 	}
 }
 
@@ -225,6 +237,41 @@ func (d *Domain) snoopClear(l mem.LineAddr, s Side) {
 // SnoopEntries returns the number of directory entries currently tracked —
 // zero in update mode, which is the paper's snoop-filter-free claim.
 func (d *Domain) SnoopEntries() int { return len(d.snoop) }
+
+// NoteRetransmit records n link-layer retransmissions of update pushes.
+// The replay engine delivers the data, so no protocol state changes — this
+// is recovery accounting only.
+func (d *Domain) NoteRetransmit(n int64) { d.retransmits += n }
+
+// PoisonPush handles a FlushData push whose link-layer retry budget was
+// exhausted: the payload arrived poisoned and must not be consumed. The
+// home agent contains the error by dropping the peer's (poisoned) copy and
+// reverting the writer's line to Modified — so the consumer's next Read
+// takes the on-demand invalidation-style fetch path and pulls a clean copy
+// from the still-dirty writer. Only meaningful in update mode (the
+// invalidation protocol has no pushes to poison).
+func (d *Domain) PoisonPush(l mem.LineAddr, from Side) {
+	d.poisons++
+	writer := d.cacheOf(from)
+	peer := d.cacheOf(from.Opposite())
+	if writer.Lookup(l) == cache.Shared {
+		writer.SetState(l, cache.Modified)
+	}
+	if peer.Contains(l) {
+		peer.SetState(l, cache.Invalid)
+	}
+	d.poisonedLines[l] = struct{}{}
+}
+
+// PoisonedLines returns the number of lines whose last push was poisoned
+// and that have not yet been recovered.
+func (d *Domain) PoisonedLines() int { return len(d.poisonedLines) }
+
+// FaultCounters returns (retransmitted pushes, poisoned pushes, poisoned
+// lines recovered via the on-demand fetch path).
+func (d *Domain) FaultCounters() (retransmits, poisons, recovered int64) {
+	return d.retransmits, d.poisons, d.poisonRecovered
+}
 
 // Seed installs the initial resident copy of a line on side s in Exclusive
 // state without link traffic (e.g. parameters pre-loaded into the giant
@@ -309,6 +356,9 @@ func (d *Domain) Write(l mem.LineAddr, from Side) []cache.Eviction {
 	d.say(MsgGoFlush)
 	d.move(Transfer{Line: l, From: from, To: from.Opposite(), Msg: MsgFlushData})
 	writer.SetState(l, cache.Shared)
+	// A fresh push supersedes any earlier poisoned delivery of this line
+	// (the caller re-poisons via PoisonPush if this one failed too).
+	delete(d.poisonedLines, l)
 	// Peer copy is refreshed and shared. The giant cache always accepts;
 	// a smaller CPU cache "simply ignores the update messages" for lines
 	// it does not hold (paper §IV-A2) — the payload still lands in host
@@ -340,7 +390,13 @@ func (d *Domain) Read(l mem.LineAddr, from Side) bool {
 	}
 
 	if peer.Lookup(l) == cache.Modified {
-		// On-demand fill from the dirty peer copy.
+		// On-demand fill from the dirty peer copy. This is also the
+		// recovery path for poisoned pushes: the writer still holds M,
+		// so the fetch delivers a clean copy.
+		if _, ok := d.poisonedLines[l]; ok {
+			delete(d.poisonedLines, l)
+			d.poisonRecovered++
+		}
 		d.say(MsgReadShared)
 		d.move(Transfer{Line: l, From: from.Opposite(), To: from, Msg: MsgData, OnDemand: true})
 		peer.SetState(l, cache.Shared)
@@ -401,7 +457,18 @@ func (d *Domain) FlushCPU() []cache.Eviction {
 			if d.giant.Lookup(ev.Addr) == cache.Shared {
 				d.giant.SetState(ev.Addr, cache.Exclusive)
 			}
-			if d.mode == Update || !ev.Dirty {
+			if d.mode == Update {
+				if ev.Dirty {
+					// Under the update protocol a dirty giant-domain line
+					// at flush time means its push was poisoned (clean
+					// pushes leave the writer Shared). Keep ownership so
+					// the consumer's on-demand fetch can still recover
+					// the only good copy.
+					d.cpu.Insert(ev.Addr, cache.Modified)
+				}
+				continue
+			}
+			if !ev.Dirty {
 				continue
 			}
 			// Invalidation mode: the dirty line's home is accelerator

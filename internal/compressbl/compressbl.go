@@ -112,7 +112,7 @@ func LosslessCompression(m modelzoo.Model, batch int, seed int64) LosslessRow {
 	b := base.Breakdown
 	b.Prm = compress + transfer + decompress
 
-	teco := core.NewEngine(core.Config{DBA: true}).Step(m, batch)
+	teco := core.MustEngine(core.Config{DBA: true}).Step(m, batch)
 	row := LosslessRow{
 		Model:        m.Name,
 		Ratio:        ratio,
@@ -150,7 +150,7 @@ func GLUEMNLISteps(batch int) int {
 // training accuracy"), on top of the baseline offloaded schedule.
 func ZeroQuant(m modelzoo.Model, batch, steps int) ZeroQuantRow {
 	base := zero.NewEngine().Step(m, batch)
-	teco := core.NewEngine(core.Config{DBA: true}).Step(m, batch)
+	teco := core.MustEngine(core.Config{DBA: true}).Step(m, batch)
 
 	// Teacher forward runs in full precision (no tensor cores): ~2x the
 	// student's forward cost; knowledge-distillation loss adds a partial
@@ -174,5 +174,5 @@ func ZeroQuant(m modelzoo.Model, batch, steps int) ZeroQuantRow {
 // TECOStep exposes the TECO-Reduction step result used in the rows above
 // (for harness cross-checks).
 func TECOStep(m modelzoo.Model, batch int) phases.StepResult {
-	return core.NewEngine(core.Config{DBA: true}).Step(m, batch)
+	return core.MustEngine(core.Config{DBA: true}).Step(m, batch)
 }

@@ -22,7 +22,7 @@ import (
 func TestEngineMatchesTraceReplay(t *testing.T) {
 	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.BertLargeCased(), modelzoo.T5Large()} {
 		for _, useDBA := range []bool{false, true} {
-			e := NewEngine(Config{DBA: useDBA})
+			e := MustEngine(Config{DBA: useDBA})
 			r := e.Step(m, 4)
 
 			// Rebuild the same ADAM writeback schedule as a trace and
@@ -77,7 +77,7 @@ func TestParamVolumeConservation(t *testing.T) {
 		if base.ParamLinkBytes != m.ParamBytes() {
 			t.Errorf("%s: baseline param bytes %d != %d", m.Name, base.ParamLinkBytes, m.ParamBytes())
 		}
-		red := NewEngine(Config{DBA: true}).Step(m, b)
+		red := MustEngine(Config{DBA: true}).Step(m, b)
 		if red.ParamLinkBytes != m.ParamBytes()/2 {
 			t.Errorf("%s: DBA param bytes %d != %d", m.Name, red.ParamLinkBytes, m.ParamBytes()/2)
 		}
@@ -92,7 +92,7 @@ func TestParamVolumeConservation(t *testing.T) {
 func TestStepMonotoneInBatch(t *testing.T) {
 	m := modelzoo.BertLargeCased()
 	for _, cfg := range []Config{{}, {DBA: true}, {Invalidation: true}} {
-		e := NewEngine(cfg)
+		e := MustEngine(cfg)
 		prev := sim.Time(0)
 		for _, b := range []int{1, 2, 4, 8, 16, 32} {
 			tot := e.Step(m, b).Total()
@@ -111,7 +111,7 @@ func TestGradExposureMatchesReplay(t *testing.T) {
 	gpu := gpusim.V100()
 	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.T5Large()} {
 		for _, batch := range []int{4, 8} {
-			e := NewEngine(Config{})
+			e := MustEngine(Config{})
 			r := e.Step(m, batch)
 
 			link := cxl.NewLink(sim.New(), e.LinkBandwidth, e.QueueCap)

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"teco/internal/cxl"
+	"teco/internal/modelzoo"
+	"teco/internal/tensor"
+)
+
+// TestZeroFaultStepBitIdentical: a fault config that injects nothing (only a
+// seed set) must leave every timing and byte count bit-identical to an
+// engine with no fault config at all — the fault path is strictly additive.
+func TestZeroFaultStepBitIdentical(t *testing.T) {
+	m := modelzoo.BertLargeCased()
+	for _, cfg := range []Config{{}, {DBA: true}, {Invalidation: true}} {
+		withSeed := cfg
+		withSeed.Faults = cxl.FaultConfig{Seed: 99}
+		withSeed.Degrade = true
+		plain := MustEngine(cfg).Step(m, 4)
+		seeded := MustEngine(withSeed).Step(m, 4)
+		if !reflect.DeepEqual(plain, seeded) {
+			t.Fatalf("%v: disabled fault config changed the step:\n plain  %+v\n seeded %+v",
+				cfg.Variant(), plain, seeded)
+		}
+		if seeded.Fault.Any() {
+			t.Fatalf("%v: fault stats nonzero on pristine link: %+v", cfg.Variant(), seeded.Fault)
+		}
+	}
+}
+
+// TestFaultedStepDeterministic: same seed and BER give identical retry
+// counts and timings; a different seed gives different ones.
+func TestFaultedStepDeterministic(t *testing.T) {
+	m := modelzoo.BertLargeCased()
+	mk := func(seed int64) Config {
+		return Config{DBA: true, Faults: cxl.FaultConfig{Seed: seed, BER: 1e-6}}
+	}
+	a := MustEngine(mk(7)).Step(m, 4)
+	b := MustEngine(mk(7)).Step(m, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n a %+v\n b %+v", a, b)
+	}
+	c := MustEngine(mk(8)).Step(m, 4)
+	if reflect.DeepEqual(a.Fault, c.Fault) {
+		t.Fatal("different seeds produced identical fault stats")
+	}
+}
+
+// TestFaultExposureGrowsWithBER: retries, exposed retry latency, and the
+// step total all grow with the error rate.
+func TestFaultExposureGrowsWithBER(t *testing.T) {
+	m := modelzoo.BertLargeCased()
+	var prev StepTotals
+	for i, ber := range []float64{0, 1e-7, 1e-6, 1e-5} {
+		r := MustEngine(Config{DBA: true, Faults: cxl.FaultConfig{Seed: 3, BER: ber}}).Step(m, 4)
+		cur := StepTotals{Retries: r.Fault.Retries, Exposed: int64(r.Fault.Exposed), Total: int64(r.Total())}
+		if i > 0 {
+			if cur.Retries <= prev.Retries {
+				t.Fatalf("retries not increasing at BER %g: %d <= %d", ber, cur.Retries, prev.Retries)
+			}
+			if cur.Exposed < prev.Exposed || cur.Total < prev.Total {
+				t.Fatalf("exposure/total shrank at BER %g: %+v vs %+v", ber, cur, prev)
+			}
+		}
+		prev = cur
+	}
+}
+
+// StepTotals is a comparison scratch type for the monotonicity tests.
+type StepTotals struct{ Retries, Exposed, Total int64 }
+
+// TestExposedMatchesBreakdownGrowth: the reported exposed retry latency
+// equals the growth of the step's exposed communication phases relative to
+// the fault-free run (the fault path only stretches Grad and Prm).
+func TestExposedMatchesBreakdownGrowth(t *testing.T) {
+	m := modelzoo.BertLargeCased()
+	clean := MustEngine(Config{DBA: true}).Step(m, 4)
+	faulty := MustEngine(Config{DBA: true, Faults: cxl.FaultConfig{Seed: 3, BER: 1e-5}}).Step(m, 4)
+	if faulty.Fault.Exposed <= 0 {
+		t.Fatal("no exposed retry latency at BER 1e-5")
+	}
+	growth := (faulty.Grad - clean.Grad) + (faulty.Prm - clean.Prm)
+	if growth != faulty.Fault.Exposed {
+		t.Fatalf("breakdown growth %v != reported exposed %v", growth, faulty.Fault.Exposed)
+	}
+	if faulty.Fwd != clean.Fwd || faulty.Bwd != clean.Bwd ||
+		faulty.Clip != clean.Clip || faulty.Adam != clean.Adam {
+		t.Fatal("fault injection touched a compute phase")
+	}
+}
+
+// TestDegradationPolicy: below the crossover BER the policy keeps DBA; above
+// it the step falls back to full-line transfers (and the fallback is
+// genuinely cheaper there).
+func TestDegradationPolicy(t *testing.T) {
+	bw := modelzoo.CXLLinkBandwidth()
+	cross := DegradationCrossoverBER(cxl.FaultConfig{BER: 1e-6}, 2, bw)
+	if cross <= 1e-6 || cross >= 1e-3 {
+		t.Fatalf("crossover BER %g outside the plausible window (1e-6, 1e-3)", cross)
+	}
+	if AggregatedUneconomical(cxl.FaultConfig{BER: cross / 4}, 2, bw) {
+		t.Fatal("policy degraded below the crossover")
+	}
+	if !AggregatedUneconomical(cxl.FaultConfig{BER: cross * 4}, 2, bw) {
+		t.Fatal("policy kept DBA above the crossover")
+	}
+
+	m := modelzoo.BertLargeCased()
+	low := MustEngine(Config{DBA: true, Degrade: true,
+		Faults: cxl.FaultConfig{Seed: 5, BER: cross / 4}}).Step(m, 4)
+	if low.Fault.Degraded {
+		t.Fatal("degraded at a benign BER")
+	}
+	high := cxl.FaultConfig{Seed: 5, BER: cross * 4}
+	deg := MustEngine(Config{DBA: true, Degrade: true, Faults: high}).Step(m, 4)
+	if !deg.Fault.Degraded {
+		t.Fatal("did not degrade above the crossover")
+	}
+	if deg.Variant != low.Variant {
+		t.Fatalf("degradation changed the variant label: %v vs %v", deg.Variant, low.Variant)
+	}
+	stubborn := MustEngine(Config{DBA: true, Faults: high}).Step(m, 4)
+	if deg.Total() >= stubborn.Total() {
+		t.Fatalf("degraded step (%v) not faster than insisting on DBA (%v)", deg.Total(), stubborn.Total())
+	}
+	full := MustEngine(Config{}).Step(m, 4)
+	if deg.ParamLinkBytes < full.ParamLinkBytes {
+		t.Fatal("degraded step still shipped aggregated parameter volume")
+	}
+}
+
+// TestPoisonRecoveryAccounting: a tiny retry budget at a harsh BER produces
+// poisoned packets, and each one is recovered on demand with its round trip
+// charged to the exposed phases and its bytes to the link volume.
+func TestPoisonRecoveryAccounting(t *testing.T) {
+	m := modelzoo.BertLargeCased()
+	fc := cxl.FaultConfig{Seed: 11, BER: 5e-5, RetryBudget: 1}
+	r := MustEngine(Config{Faults: fc}).Step(m, 4)
+	if r.Fault.Poisoned == 0 {
+		t.Fatal("harsh BER with budget 1 produced no poisoned packets")
+	}
+	if r.Fault.Recovered != r.Fault.Poisoned {
+		t.Fatalf("recovered %d != poisoned %d", r.Fault.Recovered, r.Fault.Poisoned)
+	}
+	clean := MustEngine(Config{}).Step(m, 4)
+	extraBytes := (r.ParamLinkBytes + r.GradLinkBytes) - (clean.ParamLinkBytes + clean.GradLinkBytes)
+	if extraBytes <= 0 {
+		t.Fatal("poison recovery shipped no extra link volume")
+	}
+}
+
+// TestReplayUnderFaultsIsLossless: with fault injection enabled, the
+// functional replay still delivers the bit-exact result — retransmissions
+// and poison recovery never let corrupt bytes reach the device tensor.
+func TestReplayUnderFaultsIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 4096
+	old := tensor.New("old", n)
+	upd := tensor.New("upd", n)
+	for i := 0; i < n; i++ {
+		old.Set(i, rng.Float32())
+		upd.Set(i, rng.Float32())
+	}
+	want, _, err := ReplayParameterUpdate(old, upd, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moderate BER: retries happen, everything recovers within budget.
+	got, stats, err := ReplayParameterUpdate(old, upd, Config{
+		Faults: cxl.FaultConfig{Seed: 2, BER: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("BER 1e-4 produced no retries")
+	}
+	if !reflect.DeepEqual(want.Data(), got.Data()) {
+		t.Fatal("faulted replay diverged from fault-free result")
+	}
+
+	// Harsh BER with budget 0: every CRC failure poisons; recovery must
+	// still deliver the exact tensor via on-demand fetches.
+	got2, stats2, err := ReplayParameterUpdate(old, upd, Config{
+		Faults: cxl.FaultConfig{Seed: 2, BER: 2e-4, RetryBudget: -0 + 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Poisoned == 0 {
+		t.Fatal("harsh BER with budget 1 poisoned nothing")
+	}
+	if !reflect.DeepEqual(want.Data(), got2.Data()) {
+		t.Fatal("poison recovery delivered corrupt data")
+	}
+
+	// Gradients take the reverse path.
+	gwant, _, err := ReplayGradientFlush(upd, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ggot, gstats, err := ReplayGradientFlush(upd, Config{
+		Faults: cxl.FaultConfig{Seed: 4, BER: 2e-4, RetryBudget: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gstats.Retries == 0 {
+		t.Fatal("gradient flush saw no retries")
+	}
+	if !reflect.DeepEqual(gwant.Data(), ggot.Data()) {
+		t.Fatal("faulted gradient flush diverged")
+	}
+}
+
+// TestReplayRejectsInvalidFaultConfig: fault configs are validated at the
+// replay boundary, returned as errors rather than panics.
+func TestReplayRejectsInvalidFaultConfig(t *testing.T) {
+	old := tensor.New("a", 16)
+	upd := tensor.New("b", 16)
+	bad := Config{Faults: cxl.FaultConfig{BER: -1}}
+	if _, _, err := ReplayParameterUpdate(old, upd, bad); err == nil {
+		t.Fatal("negative BER accepted by ReplayParameterUpdate")
+	}
+	if _, _, err := ReplayGradientFlush(old, bad); err == nil {
+		t.Fatal("negative BER accepted by ReplayGradientFlush")
+	}
+}

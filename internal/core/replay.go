@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"teco/internal/coherence"
@@ -23,6 +24,48 @@ type ReplayStats struct {
 	FlushData int64
 	// SnoopEntries is the directory size at the end (zero under update).
 	SnoopEntries int
+	// Retries counts CRC-failed frames that were retransmitted.
+	Retries int64
+	// Poisoned counts pushes whose retry budget was exhausted; the line
+	// was delivered poisoned and the consumer fell back to an on-demand
+	// fetch instead of merging corrupt data.
+	Poisoned int64
+	// Recovered counts poisoned lines re-fetched on demand.
+	Recovered int64
+}
+
+// wireDelivery runs one frame across the (possibly faulty) wire: encode with
+// the CRC trailer, corrupt per the fault model, decode. CRC failures are
+// retransmitted; a push that exhausts `budget` returns cxl.ErrCRC (the
+// caller poisons the line). On-demand fetches are critical-path — the
+// consumer cannot proceed without the data — so they retry until clean.
+func wireDelivery(pkt *cxl.Packet, fm *cxl.FaultModel, onDemand bool, retries *int64) (cxl.Packet, error) {
+	if fm == nil {
+		wire, err := pkt.Encode()
+		if err != nil {
+			return cxl.Packet{}, err
+		}
+		return cxl.Decode(wire)
+	}
+	frame, err := pkt.EncodeFramed()
+	if err != nil {
+		return cxl.Packet{}, err
+	}
+	budget := fm.Config().RetryBudget
+	for attempt := 0; ; attempt++ {
+		wire, _ := fm.CorruptFrame(frame)
+		decoded, err := cxl.DecodeFramed(wire)
+		if err == nil {
+			return decoded, nil
+		}
+		if !errors.Is(err, cxl.ErrCRC) {
+			return cxl.Packet{}, err
+		}
+		*retries++
+		if !onDemand && attempt >= budget {
+			return cxl.Packet{}, err
+		}
+	}
 }
 
 // ReplayParameterUpdate drives the full functional stack for one parameter
@@ -35,12 +78,27 @@ type ReplayStats struct {
 // Under DBA the device tensor is the byte-exact dirty-byte merge: new low
 // bytes over old high bytes — the approximation the accuracy experiments
 // (Table V, Fig 10, Fig 13) quantify.
+//
+// With cfg.Faults enabled, frames carry the flit CRC trailer and cross a
+// lossy wire: CRC failures are NAK'd and retransmitted; pushes exhausting
+// the retry budget are delivered poisoned, the writer keeps ownership, and
+// the consumer's next read recovers the line with an on-demand fetch — the
+// merge never consumes corrupt bytes.
 func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Tensor, ReplayStats, error) {
 	if old.Len() != updated.Len() {
 		return nil, ReplayStats{}, fmt.Errorf("core: replay over mismatched tensors (%d vs %d)", old.Len(), updated.Len())
 	}
 	if cfg.DirtyBytes <= 0 {
 		cfg.DirtyBytes = dba.DefaultDirtyBytes
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	var fm *cxl.FaultModel
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		fcfg.Seed = 2*fcfg.Seed + 5
+		fm = cxl.NewFaultModel(fcfg)
 	}
 
 	amap := mem.NewMap()
@@ -52,11 +110,16 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 
 	device := old.Clone()
 	var stats ReplayStats
+	var cbErr error
+	var poisoned []mem.LineAddr
 
 	dom := coherence.NewDomain(coherence.Config{
 		Mode:    mode,
 		AddrMap: amap,
 		OnTransfer: func(tr coherence.Transfer) {
+			if cbErr != nil {
+				return
+			}
 			if tr.OnDemand {
 				stats.OnDemandTransfers++
 			}
@@ -78,10 +141,17 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 			} else {
 				pkt = cxl.Packet{Addr: tr.Line, Payload: newLine}
 			}
-			wire := pkt.Encode()
-			decoded, err := cxl.Decode(wire)
+			decoded, err := wireDelivery(&pkt, fm, tr.OnDemand, &stats.Retries)
 			if err != nil {
-				panic(fmt.Sprintf("core: packet did not survive the wire: %v", err))
+				if errors.Is(err, cxl.ErrCRC) {
+					// Retry budget exhausted: the line arrives poisoned
+					// and is NOT merged; the protocol layer recovers it.
+					stats.Poisoned++
+					poisoned = append(poisoned, tr.Line)
+					return
+				}
+				cbErr = err
+				return
 			}
 			stats.PayloadBytes += int64(decoded.PayloadLen())
 			if decoded.Aggregated {
@@ -94,6 +164,16 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 		},
 	})
 
+	// drainPoison surfaces the poisoned deliveries to the protocol: the
+	// writer reverts to Modified (it still owns the only good copy) and
+	// the consumer's copy is invalidated, forcing on-demand recovery.
+	drainPoison := func() {
+		for _, l := range poisoned {
+			dom.PoisonPush(l, coherence.CPU)
+		}
+		poisoned = poisoned[:0]
+	}
+
 	lines := old.Lines()
 	stats.Lines = lines
 	// Initial condition: the giant cache holds the previous step's
@@ -105,19 +185,27 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 	for l := int64(0); l < lines; l++ {
 		dom.Write(region.Base.Line()+mem.LineAddr(l), coherence.CPU)
 	}
+	drainPoison()
 	// End-of-iteration flush guarantees everything was pushed (update
-	// protocol). Under the invalidation ablation there is no push: dirty
+	// protocol); poisoned lines are Modified again and survive the flush —
+	// the writer keeps the only good copy until the consumer recovers it
+	// on demand. Under the invalidation ablation there is no push: dirty
 	// lines stay in the CPU cache (or cross at eviction) and the
 	// accelerator pulls them on demand — the §IV-A2 critical-path cost.
 	if mode == coherence.Update {
 		dom.FlushCPU()
 	}
 	// Accelerator reads all parameters for the next forward pass; under
-	// the update protocol these are local hits, under invalidation they
-	// are on-demand fills.
+	// the update protocol these are local hits (or on-demand recoveries of
+	// still-poisoned lines), under invalidation they are on-demand fills.
 	for l := int64(0); l < lines; l++ {
 		dom.Read(region.Base.Line()+mem.LineAddr(l), coherence.Accelerator)
 	}
+	if cbErr != nil {
+		return nil, stats, cbErr
+	}
+	dom.NoteRetransmit(stats.Retries)
+	_, _, stats.Recovered = dom.FaultCounters()
 	stats.SnoopEntries = dom.SnoopEntries()
 	return device, stats, nil
 }
@@ -130,6 +218,16 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 // §V: "the gradients transfers from the accelerator to CPU cannot apply
 // DBA"), so every payload is a full 64-byte line.
 func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, ReplayStats, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	var fm *cxl.FaultModel
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		fcfg.Seed = 2*fcfg.Seed + 6
+		fm = cxl.NewFaultModel(fcfg)
+	}
+
 	amap := mem.NewMap()
 	region := amap.Allocate("grads", mem.RegionGiantCache, grads.Bytes())
 	mode := coherence.Update
@@ -139,10 +237,15 @@ func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, Repl
 
 	cpuCopy := tensor.New(grads.Name()+"-cpu", grads.Len())
 	var stats ReplayStats
+	var cbErr error
+	var poisoned []mem.LineAddr
 	dom := coherence.NewDomain(coherence.Config{
 		Mode:    mode,
 		AddrMap: amap,
 		OnTransfer: func(tr coherence.Transfer) {
+			if cbErr != nil {
+				return
+			}
 			if tr.OnDemand {
 				stats.OnDemandTransfers++
 			}
@@ -151,9 +254,15 @@ func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, Repl
 			}
 			line := int64(tr.Line - region.Base.Line())
 			pkt := cxl.Packet{Addr: tr.Line, Payload: grads.EncodeLine(line)}
-			decoded, err := cxl.Decode(pkt.Encode())
+			decoded, err := wireDelivery(&pkt, fm, tr.OnDemand, &stats.Retries)
 			if err != nil {
-				panic(fmt.Sprintf("core: gradient packet did not survive the wire: %v", err))
+				if errors.Is(err, cxl.ErrCRC) {
+					stats.Poisoned++
+					poisoned = append(poisoned, tr.Line)
+					return
+				}
+				cbErr = err
+				return
 			}
 			stats.PayloadBytes += int64(decoded.PayloadLen())
 			cpuCopy.DecodeLine(line, decoded.Payload)
@@ -166,11 +275,21 @@ func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, Repl
 	for l := int64(0); l < lines; l++ {
 		dom.Write(region.Base.Line()+mem.LineAddr(l), coherence.Accelerator)
 	}
+	for _, l := range poisoned {
+		dom.PoisonPush(l, coherence.Accelerator)
+	}
+	poisoned = poisoned[:0]
 	// CPU reads all gradients for clipping; under the update protocol the
-	// data already arrived, under invalidation each read is on demand.
+	// data already arrived (poisoned lines recover on demand), under
+	// invalidation each read is on demand.
 	for l := int64(0); l < lines; l++ {
 		dom.Read(region.Base.Line()+mem.LineAddr(l), coherence.CPU)
 	}
+	if cbErr != nil {
+		return nil, stats, cbErr
+	}
+	dom.NoteRetransmit(stats.Retries)
+	_, _, stats.Recovered = dom.FaultCounters()
 	stats.SnoopEntries = dom.SnoopEntries()
 	return cpuCopy, stats, nil
 }

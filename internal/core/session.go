@@ -39,8 +39,8 @@ func EstimateTraining(m modelzoo.Model, batch, steps, actAfterSteps int) Trainin
 		batch = 1
 	}
 	base := zero.NewEngine().Step(m, batch).Total()
-	cxlStep := NewEngine(Config{}).Step(m, batch).Total()
-	dbaStep := NewEngine(Config{DBA: true}).Step(m, batch).Total()
+	cxlStep := MustEngine(Config{}).Step(m, batch).Total()
+	dbaStep := MustEngine(Config{DBA: true}).Step(m, batch).Total()
 
 	pre := steps
 	if actAfterSteps >= 0 && actAfterSteps < steps {
@@ -96,7 +96,7 @@ func (c CostModel) AnnualSavingsUSD(timeSavedFraction float64) float64 {
 // returning the projected yearly savings and the step results used.
 func ProductionSavings(m modelzoo.Model, batch int, c CostModel) (float64, phases.StepResult, phases.StepResult) {
 	base := zero.NewEngine().Step(m, batch)
-	red := NewEngine(Config{DBA: true}).Step(m, batch)
+	red := MustEngine(Config{DBA: true}).Step(m, batch)
 	saved := 1 - float64(red.Total())/float64(base.Total())
 	return c.AnnualSavingsUSD(saved), base, red
 }

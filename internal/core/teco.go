@@ -32,6 +32,15 @@ type Config struct {
 	// Invalidation runs the giant cache under the stock MESI protocol
 	// (the §IV-A2 ablation) instead of the update extension.
 	Invalidation bool
+	// Faults configures deterministic link fault injection; the zero value
+	// is a pristine link and leaves every timing bit-identical to the
+	// fault-free engine.
+	Faults cxl.FaultConfig
+	// Degrade enables the graceful-degradation policy: when the configured
+	// error rate makes DBA-aggregated payloads uneconomical (every retried
+	// aggregated packet re-pays the merge-header round trip), the step
+	// falls back to full-line transfers.
+	Degrade bool
 }
 
 // Variant returns the phases.Variant this config corresponds to.
@@ -57,13 +66,18 @@ type Engine struct {
 	Config   Config
 }
 
-// NewEngine returns a TECO engine with the calibrated defaults.
-func NewEngine(cfg Config) *Engine {
+// NewEngine returns a TECO engine with the calibrated defaults. It rejects
+// out-of-range hyperparameters (dirty_bytes outside 1..4, invalid fault
+// rates) instead of panicking — these arrive from user flags.
+func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.DirtyBytes <= 0 {
 		cfg.DirtyBytes = dba.DefaultDirtyBytes
 	}
 	if cfg.DirtyBytes > 4 {
-		panic(fmt.Sprintf("core: dirty_bytes %d", cfg.DirtyBytes))
+		return nil, fmt.Errorf("core: dirty_bytes %d outside 1..4", cfg.DirtyBytes)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	return &Engine{
 		GPU:           gpusim.V100(),
@@ -71,12 +85,22 @@ func NewEngine(cfg Config) *Engine {
 		LinkBandwidth: modelzoo.CXLLinkBandwidth(),
 		QueueCap:      cxl.DefaultQueueCap,
 		Config:        cfg,
+	}, nil
+}
+
+// MustEngine is NewEngine for statically known-good configs; it panics on a
+// config NewEngine would reject.
+func MustEngine(cfg Config) *Engine {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return e
 }
 
 // paramLinkBytes returns the CPU->GPU payload volume for one step.
-func (e *Engine) paramLinkBytes(m modelzoo.Model) int64 {
-	if !e.Config.DBA || e.Config.Invalidation {
+func (e *Engine) paramLinkBytes(m modelzoo.Model, useDBA bool) int64 {
+	if !useDBA || e.Config.Invalidation {
 		return m.ParamBytes()
 	}
 	// DBA: dirty_bytes of every 4-byte word cross the link.
@@ -88,17 +112,42 @@ func (e *Engine) Step(m modelzoo.Model, batch int) phases.StepResult {
 	if e.Config.Invalidation {
 		return e.stepInvalidation(m, batch)
 	}
-	return e.stepUpdate(m, batch)
+	useDBA := e.Config.DBA
+	degraded := false
+	if useDBA && e.Config.Degrade &&
+		AggregatedUneconomical(e.Config.Faults, e.Config.DirtyBytes, e.LinkBandwidth) {
+		// Graceful degradation: aggregated payloads cost more expected
+		// link time than full lines at this error rate — run the step
+		// with DBA switched off. The variant label stays TECO-Reduction:
+		// degradation is a per-step policy decision, not a reconfig.
+		useDBA = false
+		degraded = true
+	}
+	res := e.stepUpdate(m, batch, useDBA)
+	res.Fault.Degraded = degraded
+	return res
 }
 
 // stepUpdate is the TECO dataflow of Fig 6: gradients stream to CPU as
 // backward writes them back ((3)); updated parameter cache lines stream to
 // the giant cache as the vectorized ADAM pass writes them back ((1)/(2));
-// CXLFENCE is called once after each producer finishes.
-func (e *Engine) stepUpdate(m modelzoo.Model, batch int) phases.StepResult {
+// CXLFENCE is called once after each producer finishes. useDBA selects the
+// per-line payload (the degradation policy may clear it while Config.DBA
+// stays set).
+func (e *Engine) stepUpdate(m modelzoo.Model, batch int, useDBA bool) phases.StepResult {
 	eng := sim.New()
 	up := cxl.NewLink(eng, e.LinkBandwidth, e.QueueCap)   // giant cache -> CPU
 	down := cxl.NewLink(eng, e.LinkBandwidth, e.QueueCap) // CPU -> giant cache
+	fc := e.Config.Faults
+	if fc.Enabled() {
+		// Derived seeds keep the two directions on independent but
+		// reproducible random streams.
+		upCfg, downCfg := fc, fc
+		upCfg.Seed = 2*fc.Seed + 1
+		downCfg.Seed = 2*fc.Seed + 2
+		up.InjectFaults(upCfg)
+		down.InjectFaults(downCfg)
+	}
 
 	fwd := e.GPU.ForwardTime(m, batch)
 	bwd := e.GPU.BackwardTime(m, batch)
@@ -106,9 +155,11 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int) phases.StepResult {
 	bwdEnd := fwd + bwd
 
 	// Gradients: cache-line-granular update pushes track backward layer
-	// by layer (no buffer-fill delay — the fine-grained win).
+	// by layer (no buffer-fill delay — the fine-grained win). Gradients
+	// never aggregate, so the wire packet is a full line.
+	fullWire := cxl.WirePacketBytes(0)
 	for _, ch := range e.GPU.GradientSchedule(m, batch) {
-		up.Send(bwdStart+ch.ReadyAt, int(ch.Bytes), 0)
+		up.SendFlow(bwdStart+ch.ReadyAt, int(ch.Bytes), 0, fullWire, false)
 	}
 	// CXLFENCE after the last gradient writeback (Fig 6: "after the
 	// buffer is full, CXLFENCE() must be called").
@@ -123,23 +174,25 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int) phases.StepResult {
 	// transfer calls (Fig 6 (1)/(2)).
 	adam := e.CPU.AdamTime(m.Params)
 	adamEnd := clipEnd + adam
-	perLine := e.perLinePayload()
+	perLine := e.perLinePayload(useDBA)
+	paramWire := fullWire
 	var extra sim.Time
-	if e.Config.DBA {
+	if useDBA {
 		// Aggregator logic delay, amortized by pipelining: the paper
 		// charges 1 ns end-to-end per in-flight group (§VIII-D).
 		extra = dba.ModelledLatency
+		paramWire = cxl.WirePacketBytes(e.Config.DirtyBytes)
 	}
 	for _, ch := range e.CPU.UpdateSchedule(m) {
 		payload := ch.Bytes * int64(perLine) / mem.LineSize
-		down.Send(clipEnd+ch.ReadyAt, int(payload), extra)
+		down.SendFlow(clipEnd+ch.ReadyAt, int(payload), extra, paramWire, useDBA)
 	}
 	// One CXLFENCE after all parameters are updated (Listing 1: inside
 	// optimizer.step()).
 	paramDone := down.Fence(adamEnd)
 	paramExposed := paramDone - adamEnd
 
-	return phases.StepResult{
+	res := phases.StepResult{
 		Variant: e.Config.Variant(),
 		Breakdown: phases.Breakdown{
 			Fwd:  fwd,
@@ -149,14 +202,56 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int) phases.StepResult {
 			Adam: adam,
 			Prm:  paramExposed,
 		},
-		ParamLinkBytes: e.paramLinkBytes(m),
+		ParamLinkBytes: e.paramLinkBytes(m, useDBA),
 		GradLinkBytes:  m.GradBytes(),
 	}
+	if fc.Enabled() {
+		// Poisoned lines fall back to on-demand fetches: the consumer
+		// re-requests the full line (aggregation abandoned) on the
+		// critical path, after the fence that surfaced the poison.
+		gradRecovery := poisonRecoveryTime(up)
+		prmRecovery := poisonRecoveryTime(down)
+		res.Grad += gradRecovery
+		res.Prm += prmRecovery
+		res.GradLinkBytes += poisonRecoveryBytes(up)
+		res.ParamLinkBytes += poisonRecoveryBytes(down)
+		fs := up.FaultStats().Add(down.FaultStats())
+		res.Fault = phases.FaultStats{
+			Retries:       fs.Retries,
+			ReplayedBytes: fs.ReplayedBytes,
+			Poisoned:      fs.Poisoned,
+			Recovered:     fs.Poisoned,
+			Stalls:        fs.Stalls,
+			StallTime:     fs.StallTime,
+			Exposed: (gradDone - up.FenceClean(bwdEnd)) +
+				(paramDone - down.FenceClean(adamEnd)) +
+				gradRecovery + prmRecovery,
+		}
+	}
+	return res
+}
+
+// poisonRecoveryTime prices the on-demand re-fetch of every line the link
+// delivered poisoned: a NAK-style poison notification, the request/response
+// message round trip, and the full-line resend, all on the critical path.
+func poisonRecoveryTime(l *cxl.Link) sim.Time {
+	n := l.FaultStats().Poisoned
+	if n == 0 {
+		return 0
+	}
+	cfg := l.Faults().Config()
+	per := cfg.NakDelay + 2*l.ServiceTime(cxl.MsgBytes, 0) + l.ServiceTime(mem.LineSize, 0)
+	return sim.Time(n) * per
+}
+
+// poisonRecoveryBytes is the extra link volume of those re-fetches.
+func poisonRecoveryBytes(l *cxl.Link) int64 {
+	return l.FaultStats().Poisoned * (cxl.MsgBytes + mem.LineSize)
 }
 
 // perLinePayload returns the on-link payload per 64-byte parameter line.
-func (e *Engine) perLinePayload() int {
-	reg := dba.Register{Active: e.Config.DBA, DirtyBytes: uint8(e.Config.DirtyBytes)}
+func (e *Engine) perLinePayload(useDBA bool) int {
+	reg := dba.Register{Active: useDBA, DirtyBytes: uint8(e.Config.DirtyBytes)}
 	return reg.PayloadBytes()
 }
 
@@ -167,6 +262,15 @@ func (e *Engine) perLinePayload() int {
 func (e *Engine) stepInvalidation(m modelzoo.Model, batch int) phases.StepResult {
 	eng := sim.New()
 	link := cxl.NewLink(eng, e.LinkBandwidth, e.QueueCap)
+	glink := cxl.NewLink(eng, e.LinkBandwidth, e.QueueCap)
+	fc := e.Config.Faults
+	if fc.Enabled() {
+		pCfg, gCfg := fc, fc
+		pCfg.Seed = 2*fc.Seed + 3
+		gCfg.Seed = 2*fc.Seed + 4
+		link.InjectFaults(pCfg)
+		glink.InjectFaults(gCfg)
+	}
 
 	fwd := e.GPU.ForwardTime(m, batch)
 	bwd := e.GPU.BackwardTime(m, batch)
@@ -174,15 +278,18 @@ func (e *Engine) stepInvalidation(m modelzoo.Model, batch int) phases.StepResult
 	// Parameters fetched on demand when forward touches them (before any
 	// compute can proceed), gradients fetched on demand when the CPU
 	// clips. Invalidation messages also occupy the link.
+	fullWire := cxl.WirePacketBytes(0)
 	lines := mem.LinesIn(m.ParamBytes())
-	invalMsgs := sim.DurationForBytes(lines*cxl.MsgBytes, e.LinkBandwidth)
-	_, paramFetch := link.Send(0, int(m.ParamBytes()), 0)
-	gradFetch := sim.DurationForBytes(m.GradBytes(), e.LinkBandwidth)
+	invalMsgs := sim.DurationForBytes(lines*cxl.MsgBytes, link.BytesPerSecond())
+	pf := link.SendFlow(0, int(m.ParamBytes()), 0, fullWire, false)
+	paramFetch := pf.Done
+	gf := glink.SendFlow(0, int(m.GradBytes()), 0, fullWire, false)
+	gradFetch := gf.Done
 
 	clip := e.CPU.ClipTime(m.Params)
 	adam := e.CPU.AdamTime(m.Params)
 
-	return phases.StepResult{
+	res := phases.StepResult{
 		Variant: e.Config.Variant(),
 		Breakdown: phases.Breakdown{
 			Fwd:  fwd,
@@ -195,4 +302,24 @@ func (e *Engine) stepInvalidation(m modelzoo.Model, batch int) phases.StepResult
 		ParamLinkBytes: m.ParamBytes() + lines*cxl.MsgBytes,
 		GradLinkBytes:  m.GradBytes(),
 	}
+	if fc.Enabled() {
+		gradRecovery := poisonRecoveryTime(glink)
+		prmRecovery := poisonRecoveryTime(link)
+		res.Grad += gradRecovery
+		res.Prm += prmRecovery
+		res.GradLinkBytes += poisonRecoveryBytes(glink)
+		res.ParamLinkBytes += poisonRecoveryBytes(link)
+		fs := link.FaultStats().Add(glink.FaultStats())
+		res.Fault = phases.FaultStats{
+			Retries:       fs.Retries,
+			ReplayedBytes: fs.ReplayedBytes,
+			Poisoned:      fs.Poisoned,
+			Recovered:     fs.Poisoned,
+			Stalls:        fs.Stalls,
+			StallTime:     fs.StallTime,
+			Exposed: (pf.Done - pf.CleanDone) + (gf.Done - gf.CleanDone) +
+				gradRecovery + prmRecovery,
+		}
+	}
+	return res
 }

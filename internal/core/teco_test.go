@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"teco/internal/cxl"
 	"teco/internal/modelzoo"
 	"teco/internal/phases"
 	"teco/internal/zero"
@@ -21,16 +22,25 @@ func TestVariantMapping(t *testing.T) {
 }
 
 func TestNewEngineDefaultsAndValidation(t *testing.T) {
-	e := NewEngine(Config{DBA: true})
+	e, err := NewEngine(Config{DBA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Config.DirtyBytes != 2 {
 		t.Fatalf("default dirty bytes = %d", e.Config.DirtyBytes)
 	}
+	if _, err := NewEngine(Config{DirtyBytes: 9}); err == nil {
+		t.Fatal("expected error for dirty_bytes > 4")
+	}
+	if _, err := NewEngine(Config{Faults: cxl.FaultConfig{BER: 2}}); err == nil {
+		t.Fatal("expected error for BER outside [0,1)")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for dirty_bytes > 4")
+			t.Fatal("MustEngine should panic where NewEngine errors")
 		}
 	}()
-	NewEngine(Config{DirtyBytes: 9})
+	MustEngine(Config{DirtyBytes: 9})
 }
 
 // TestSpeedupShape asserts the headline result per model and batch: both
@@ -38,8 +48,8 @@ func TestNewEngineDefaultsAndValidation(t *testing.T) {
 // speedups land in the paper's neighbourhood (Table IV: 1.08x-1.82x).
 func TestSpeedupShape(t *testing.T) {
 	base := zero.NewEngine()
-	tecoCXL := NewEngine(Config{})
-	tecoRed := NewEngine(Config{DBA: true})
+	tecoCXL := MustEngine(Config{})
+	tecoRed := MustEngine(Config{DBA: true})
 	for _, m := range modelzoo.EvaluationModels() {
 		batches := []int{4, 8, 16}
 		if m.FullGraphOnly {
@@ -68,7 +78,7 @@ func TestSpeedupShape(t *testing.T) {
 // Bert-large (paper Table IV: 1.6x at b4, 1.62x at b8, 1.41x at b16).
 func TestBertSpeedupNearPaper(t *testing.T) {
 	base := zero.NewEngine()
-	red := NewEngine(Config{DBA: true})
+	red := MustEngine(Config{DBA: true})
 	m := modelzoo.BertLargeCased()
 	paper := map[int]float64{4: 1.60, 8: 1.62, 16: 1.41}
 	for b, want := range paper {
@@ -83,7 +93,7 @@ func TestBertSpeedupNearPaper(t *testing.T) {
 // other models" because its computation dominates.
 func TestAlbertLowestSpeedup(t *testing.T) {
 	base := zero.NewEngine()
-	red := NewEngine(Config{DBA: true})
+	red := MustEngine(Config{DBA: true})
 	albert := red.Step(modelzoo.AlbertXXLarge(), 4).Speedup(base.Step(modelzoo.AlbertXXLarge(), 4))
 	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.BertLargeCased(), modelzoo.T5Large()} {
 		other := red.Step(m, 4).Speedup(base.Step(m, 4))
@@ -97,7 +107,7 @@ func TestAlbertLowestSpeedup(t *testing.T) {
 // less communication to hide.
 func TestSpeedupDecreasesWithBatch(t *testing.T) {
 	base := zero.NewEngine()
-	red := NewEngine(Config{DBA: true})
+	red := MustEngine(Config{DBA: true})
 	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.BertLargeCased()} {
 		s4 := red.Step(m, 4).Speedup(base.Step(m, 4))
 		s16 := red.Step(m, 16).Speedup(base.Step(m, 16))
@@ -111,8 +121,8 @@ func TestSpeedupDecreasesWithBatch(t *testing.T) {
 // applying DBA" for parameters, and gradients are untouched.
 func TestDBAHalvesParamVolume(t *testing.T) {
 	m := modelzoo.BertLargeCased()
-	cxlOnly := NewEngine(Config{}).Step(m, 4)
-	red := NewEngine(Config{DBA: true}).Step(m, 4)
+	cxlOnly := MustEngine(Config{}).Step(m, 4)
+	red := MustEngine(Config{DBA: true}).Step(m, 4)
 	if red.ParamLinkBytes*2 != cxlOnly.ParamLinkBytes {
 		t.Fatalf("DBA param volume %d, want half of %d", red.ParamLinkBytes, cxlOnly.ParamLinkBytes)
 	}
@@ -125,7 +135,7 @@ func TestDBAHalvesParamVolume(t *testing.T) {
 // [parameter] transfer time is completely hidden" (drain tail only).
 func TestDBAFullyHidesParamTransfer(t *testing.T) {
 	m := modelzoo.BertLargeCased()
-	red := NewEngine(Config{DBA: true}).Step(m, 4)
+	red := MustEngine(Config{DBA: true}).Step(m, 4)
 	// Exposure should be only the final-chunk drain, < 5% of the full
 	// transfer time.
 	full := float64(m.ParamBytes()/2) / modelzoo.CXLLinkBandwidth()
@@ -139,7 +149,7 @@ func TestDBAFullyHidesParamTransfer(t *testing.T) {
 // exposed but hidden by at least ~69%.
 func TestGradHiddenAtBatch8(t *testing.T) {
 	base := zero.NewEngine()
-	tecoE := NewEngine(Config{DBA: true})
+	tecoE := MustEngine(Config{DBA: true})
 	m := modelzoo.T5Large() // Fig 12 uses T5-large
 	r8 := tecoE.Step(m, 8)
 	fullXfer := float64(m.GradBytes()) / modelzoo.CXLLinkBandwidth()
@@ -158,8 +168,8 @@ func TestGradHiddenAtBatch8(t *testing.T) {
 // time substantially (paper: +56.6% on average) relative to update mode.
 func TestInvalidationAblation(t *testing.T) {
 	m := modelzoo.BertLargeCased()
-	upd := NewEngine(Config{}).Step(m, 4)
-	inv := NewEngine(Config{Invalidation: true}).Step(m, 4)
+	upd := MustEngine(Config{}).Step(m, 4)
+	inv := MustEngine(Config{Invalidation: true}).Step(m, 4)
 	ratio := float64(inv.Total())/float64(upd.Total()) - 1
 	if ratio < 0.25 || ratio > 1.2 {
 		t.Fatalf("invalidation penalty = %.1f%%, want a large penalty (~56%%)", 100*ratio)
@@ -174,7 +184,7 @@ func TestInvalidationAblation(t *testing.T) {
 // overhead by 93.7% on average (up to 100%)".
 func TestCommReductionNearPaper(t *testing.T) {
 	base := zero.NewEngine()
-	red := NewEngine(Config{DBA: true})
+	red := MustEngine(Config{DBA: true})
 	var sum float64
 	var n int
 	for _, m := range modelzoo.EvaluationModels() {
@@ -199,7 +209,7 @@ func TestCommReductionNearPaper(t *testing.T) {
 // dominates (paper: 63.4% of total).
 func TestModelSizeSensitivity(t *testing.T) {
 	base := zero.NewEngine()
-	red := NewEngine(Config{DBA: true})
+	red := MustEngine(Config{DBA: true})
 	speedups := map[string]float64{}
 	for _, m := range modelzoo.SensitivityModels() {
 		s := red.Step(m, 4).Speedup(base.Step(m, 4))
@@ -225,7 +235,7 @@ func TestDirtyBytesSweep(t *testing.T) {
 	var prevVol int64 = 1 << 62
 	var prevTotal = int64(1) << 62
 	for _, db := range []int{4, 3, 2, 1} {
-		r := NewEngine(Config{DBA: true, DirtyBytes: db}).Step(m, 4)
+		r := MustEngine(Config{DBA: true, DirtyBytes: db}).Step(m, 4)
 		if r.ParamLinkBytes >= prevVol {
 			t.Fatalf("dirty_bytes=%d volume %d did not shrink", db, r.ParamLinkBytes)
 		}

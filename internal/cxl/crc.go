@@ -1,0 +1,58 @@
+package cxl
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// CXL flits carry a 2-byte CRC (the 68-byte flit = 64 payload + 2 header +
+// 2 CRC). This file provides the data-integrity half of the retry/replay
+// engine: a CRC-16 over the packet wire image, so a corrupted frame is
+// *detected* and NAKed instead of being decoded into wrong data.
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over p —
+// the polynomial family CXL's link layer uses for flit protection.
+func CRC16(p []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range p {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// ErrCRC reports a framed packet whose CRC check failed — the condition
+// that consumes a replay-buffer slot and triggers NAK + retransmit.
+var ErrCRC = errors.New("cxl: CRC mismatch")
+
+// EncodeFramed serializes the packet with a trailing 2-byte CRC over the
+// wire image, as the link layer would frame it into CRC-protected flits.
+func (p *Packet) EncodeFramed() ([]byte, error) {
+	wire, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(wire)+2)
+	copy(out, wire)
+	binary.LittleEndian.PutUint16(out[len(wire):], CRC16(wire))
+	return out, nil
+}
+
+// DecodeFramed verifies the trailing CRC and decodes the packet. A CRC
+// failure returns ErrCRC: the receiver must NAK, never deliver the data.
+func DecodeFramed(buf []byte) (Packet, error) {
+	if len(buf) < 2 {
+		return Packet{}, ErrShortPacket
+	}
+	body, tail := buf[:len(buf)-2], buf[len(buf)-2:]
+	if CRC16(body) != binary.LittleEndian.Uint16(tail) {
+		return Packet{}, ErrCRC
+	}
+	return Decode(body)
+}

@@ -52,6 +52,16 @@ type Link struct {
 	busy      sim.Time
 	// stall accumulates producer wait time caused by a full pending queue.
 	stall sim.Time
+
+	// faults is the attached fault model; nil (or a disabled config)
+	// leaves the send path bit-identical to the fault-free link.
+	faults *FaultModel
+	// fstats accumulates retry/replay/poison accounting when faults are
+	// injected.
+	fstats LinkFaultStats
+	// cleanFreeAt tracks where the link drain would be absent injected
+	// faults (for exposed-retry-latency accounting).
+	cleanFreeAt sim.Time
 }
 
 // NewLink builds a link bound to eng. bytesPerSecond <= 0 selects the
@@ -80,6 +90,29 @@ func (l *Link) ServiceTime(n int, extra sim.Time) sim.Time {
 	return sim.DurationForBytes(int64(n), l.bytesPerSecond) + extra
 }
 
+// InjectFaults attaches a fault model built from cfg and returns it. A
+// disabled config (zero error rate, no stalls, no degradation) attaches
+// nothing and the link stays bit-identical to the fault-free model. A
+// persistent BandwidthDegrade factor in (0,1) immediately retrains the link
+// to the degraded rate.
+func (l *Link) InjectFaults(cfg FaultConfig) *FaultModel {
+	if !cfg.Enabled() {
+		l.faults = nil
+		return nil
+	}
+	l.faults = NewFaultModel(cfg)
+	if f := cfg.BandwidthDegrade; f > 0 && f < 1 {
+		l.bytesPerSecond *= f
+	}
+	return l.faults
+}
+
+// Faults returns the attached fault model (nil on a pristine link).
+func (l *Link) Faults() *FaultModel { return l.faults }
+
+// FaultStats returns the link's cumulative fault/recovery accounting.
+func (l *Link) FaultStats() LinkFaultStats { return l.fstats }
+
 // Send enqueues a packet of n payload bytes that becomes ready at time
 // `ready` (producer-side timestamp; may be in the simulated future). extra
 // is added to the serialization time (aggregation logic delay). It returns
@@ -87,8 +120,21 @@ func (l *Link) ServiceTime(n int, extra sim.Time) sim.Time {
 // back-pressured until then) and the completion time (when the last byte is
 // on the far side).
 func (l *Link) Send(ready sim.Time, n int, extra sim.Time) (admit, done sim.Time) {
+	r := l.SendFlow(ready, n, extra, 0, false)
+	return r.Admit, r.Done
+}
+
+// SendFlow enqueues a flow of n payload bytes framed as wire packets of
+// pktBytes each (pktBytes <= 0 treats the whole flow as one packet), and
+// runs the link-layer retry/replay engine over it when a fault model is
+// attached: each retransmit round draws the corrupted-packet count, charges
+// a NAK round trip plus exponential backoff plus the resend serialization
+// (and, for aggregated flows, the per-packet merge-header round trip), and
+// packets still failing after the retry budget are delivered poisoned.
+// On a pristine link the result is identical to Send.
+func (l *Link) SendFlow(ready sim.Time, n int, extra sim.Time, pktBytes int, aggregated bool) FlowResult {
 	oldest := l.finishRing[l.ringPos]
-	admit = ready
+	admit := ready
 	if oldest > admit {
 		admit = oldest
 		l.stall += oldest - ready
@@ -98,14 +144,103 @@ func (l *Link) Send(ready sim.Time, n int, extra sim.Time) (admit, done sim.Time
 		start = l.freeAt
 	}
 	svc := l.ServiceTime(n, extra)
-	done = start + svc
+	done := start + svc
+	res := FlowResult{Admit: admit, Packets: 1}
+	if pktBytes > 0 {
+		res.Packets = (int64(n) + int64(pktBytes) - 1) / int64(pktBytes)
+		if res.Packets < 1 {
+			res.Packets = 1
+		}
+	} else {
+		pktBytes = n
+	}
+
+	if f := l.faults; f != nil {
+		cfg := f.cfg
+		// Controller-queue stall: serialization cannot start until the
+		// controller recovers.
+		if f.stallHit() {
+			res.Stalled = cfg.StallTime
+			l.fstats.Stalls++
+			l.fstats.StallTime += cfg.StallTime
+			start += cfg.StallTime
+			done = start + svc
+		}
+		cleanDone := done
+		pErr := f.PacketErrorProb(pktBytes)
+		spread := f.burstSpread(pktBytes)
+		nak := 2 * l.ServiceTime(MsgBytes, 0)
+		outstanding := res.Packets
+		for round := 1; outstanding > 0; round++ {
+			corrupted := f.draw(outstanding, pErr) * spread
+			if corrupted > outstanding {
+				corrupted = outstanding
+			}
+			if corrupted == 0 {
+				break
+			}
+			if round > cfg.RetryBudget {
+				// Replay exhausted: deliver poisoned instead of
+				// silently handing over corrupt data.
+				res.Poisoned = corrupted
+				l.fstats.Poisoned += corrupted
+				break
+			}
+			res.Retries += corrupted
+			l.fstats.Retries += corrupted
+			replayBytes := corrupted * int64(pktBytes)
+			if replayBytes > int64(n) {
+				replayBytes = int64(n)
+			}
+			res.ReplayedBytes += replayBytes
+			l.fstats.ReplayedBytes += replayBytes
+			if corrupted > l.fstats.ReplayHighWater {
+				l.fstats.ReplayHighWater = corrupted
+			}
+			// A round bigger than the replay buffer drains in waves,
+			// each wave paying another NAK round trip.
+			waves := (corrupted + int64(cfg.ReplaySlots) - 1) / int64(cfg.ReplaySlots)
+			if waves < 1 {
+				waves = 1
+			}
+			shift := uint(round - 1)
+			if shift > 16 {
+				shift = 16
+			}
+			resend := l.ServiceTime(int(replayBytes), 0)
+			penalty := cfg.NakDelay + sim.Time(waves-1)*nak + (cfg.RetryBackoff << shift) + resend
+			if aggregated {
+				// Every retried aggregated packet re-sends the merge
+				// header round trip: the Disaggregator refetches the
+				// stale line to redo the merge.
+				penalty += sim.Time(corrupted) * cfg.MergeRetryDelay
+			}
+			done += penalty
+			l.busy += resend
+			outstanding = corrupted
+		}
+		l.fstats.RetryTime += done - cleanDone
+		res.CleanDone = cleanDone
+		// Track the fault-free drain point for exposure accounting: the
+		// clean link would have started no later than the faulty one.
+		cs := admit
+		if l.cleanFreeAt > cs {
+			cs = l.cleanFreeAt
+		}
+		l.cleanFreeAt = cs + svc
+	} else {
+		res.CleanDone = done
+		l.cleanFreeAt = done
+	}
+
+	res.Done = done
 	l.freeAt = done
 	l.busy += svc
 	l.finishRing[l.ringPos] = done
 	l.ringPos = (l.ringPos + 1) % l.queueCap
 	l.bytesSent += int64(n)
 	l.packets++
-	return admit, done
+	return res
 }
 
 // SendMsg enqueues a data-less protocol message.
@@ -124,6 +259,17 @@ func (l *Link) Fence(ready sim.Time) sim.Time {
 	return ready
 }
 
+// FenceClean is Fence computed against the fault-free drain point: the time
+// all traffic would have completed had no fault been injected. The
+// difference Fence−FenceClean is the retry latency exposed to a producer
+// fencing at `ready`.
+func (l *Link) FenceClean(ready sim.Time) sim.Time {
+	if l.cleanFreeAt > ready {
+		return l.cleanFreeAt
+	}
+	return ready
+}
+
 // Drained returns the time the link finishes all enqueued traffic.
 func (l *Link) Drained() sim.Time { return l.freeAt }
 
@@ -134,11 +280,15 @@ func (l *Link) Stats() (bytes int64, packets int64, busy, stall sim.Time) {
 }
 
 // Reset clears counters and queue state (a new training run on the same
-// hardware).
+// hardware). Fault and retry counters are cleared alongside the byte and
+// stall accounting; the attached fault model (and any degraded bandwidth)
+// persists — the hardware is still the same lossy link.
 func (l *Link) Reset() {
 	l.freeAt = 0
+	l.cleanFreeAt = 0
 	l.bytesSent, l.packets = 0, 0
 	l.busy, l.stall = 0, 0
+	l.fstats = LinkFaultStats{}
 	for i := range l.finishRing {
 		l.finishRing[i] = 0
 	}
@@ -182,11 +332,26 @@ func (p *Packet) PayloadLen() int {
 // WireBytes returns the total on-wire size (header + payload).
 func (p *Packet) WireBytes() int { return headerSize + p.PayloadLen() }
 
-// Encode serializes the packet. It panics when the payload length does not
-// match the flags — always a construction bug.
-func (p *Packet) Encode() []byte {
+// WirePacketBytes returns the on-wire packet size (header + payload) for a
+// full-line packet (dirtyBytes <= 0) or a DBA-aggregated packet carrying
+// dirtyBytes per 4-byte word — the framing granularity the link-layer
+// retry/replay engine retransmits at.
+func WirePacketBytes(dirtyBytes int) int {
+	if dirtyBytes <= 0 {
+		return headerSize + mem.LineSize
+	}
+	return headerSize + mem.LineSize/4*dirtyBytes
+}
+
+// ErrPayloadMismatch reports a packet whose payload length does not match
+// its header flags.
+var ErrPayloadMismatch = errors.New("cxl: payload length does not match flags")
+
+// Encode serializes the packet. A payload length inconsistent with the
+// header flags is a caller error reported as ErrPayloadMismatch.
+func (p *Packet) Encode() ([]byte, error) {
 	if len(p.Payload) != p.PayloadLen() {
-		panic(fmt.Sprintf("cxl: payload %dB does not match flags (want %dB)", len(p.Payload), p.PayloadLen()))
+		return nil, fmt.Errorf("%w: payload %dB, want %dB", ErrPayloadMismatch, len(p.Payload), p.PayloadLen())
 	}
 	buf := make([]byte, headerSize+len(p.Payload))
 	// 48-bit line address in the low 6 bytes, flags+dirty in byte 7.
@@ -197,7 +362,7 @@ func (p *Packet) Encode() []byte {
 	}
 	buf[7] = fl
 	copy(buf[headerSize:], p.Payload)
-	return buf
+	return buf, nil
 }
 
 // ErrShortPacket reports a truncated packet buffer.

@@ -2,6 +2,7 @@ package cxl
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -152,7 +153,10 @@ func TestPacketEncodeDecodeFullLine(t *testing.T) {
 		payload[i] = byte(i)
 	}
 	p := Packet{Addr: 0x123456789A, Payload: payload}
-	buf := p.Encode()
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(buf) != p.WireBytes() {
 		t.Fatalf("wire bytes = %d, want %d", len(buf), p.WireBytes())
 	}
@@ -173,7 +177,11 @@ func TestPacketEncodeDecodeAggregated(t *testing.T) {
 	if p.PayloadLen() != 32 {
 		t.Fatalf("aggregated payload len = %d, want 32", p.PayloadLen())
 	}
-	q, err := Decode(p.Encode())
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(wire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +206,10 @@ func TestDecodeErrors(t *testing.T) {
 		t.Fatal("short header must error")
 	}
 	p := Packet{Addr: 7, Payload: make([]byte, 64)}
-	buf := p.Encode()
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Decode(buf[:20]); err == nil {
 		t.Fatal("truncated payload must error")
 	}
@@ -209,14 +220,14 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
-func TestEncodePanicsOnMismatchedPayload(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestEncodeErrorsOnMismatchedPayload(t *testing.T) {
 	p := Packet{Addr: 1, Payload: make([]byte, 10)}
-	p.Encode()
+	if _, err := p.Encode(); !errors.Is(err, ErrPayloadMismatch) {
+		t.Fatalf("err = %v, want ErrPayloadMismatch", err)
+	}
+	if _, err := p.EncodeFramed(); !errors.Is(err, ErrPayloadMismatch) {
+		t.Fatalf("framed err = %v, want ErrPayloadMismatch", err)
+	}
 }
 
 // Property: encode/decode round-trips for all dirty-byte lengths and
@@ -228,7 +239,11 @@ func TestPacketRoundTripProperty(t *testing.T) {
 		p := Packet{Addr: addr, Aggregated: true, DirtyBytes: uint8(n)}
 		p.Payload = make([]byte, p.PayloadLen())
 		rand.New(rand.NewSource(seed)).Read(p.Payload)
-		q, err := Decode(p.Encode())
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		q, err := Decode(wire)
 		if err != nil {
 			return false
 		}

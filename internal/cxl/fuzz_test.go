@@ -1,0 +1,92 @@
+package cxl
+
+import (
+	"bytes"
+	"testing"
+
+	"teco/internal/mem"
+)
+
+// fuzzSeeds returns representative wire images: valid full-line and
+// aggregated packets, their framed variants, plus the truncation and
+// bit-flip corruptions the old ad-hoc fault tests exercised.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	full := Packet{Addr: 0x123456789A, Payload: make([]byte, mem.LineSize)}
+	for i := range full.Payload {
+		full.Payload[i] = byte(i)
+	}
+	agg := Packet{Addr: 42, Aggregated: true, DirtyBytes: 2, Payload: make([]byte, 32)}
+	for i := range agg.Payload {
+		agg.Payload[i] = byte(0xA0 ^ i)
+	}
+	var seeds [][]byte
+	for _, p := range []*Packet{&full, &agg} {
+		wire, err := p.Encode()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		framed, err := p.EncodeFramed()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		flipped := append([]byte(nil), wire...)
+		flipped[7] ^= 0x80 // toggle the aggregation flag
+		seeds = append(seeds, wire, framed, flipped, wire[:4], wire[:headerSize], wire[:len(wire)-1])
+	}
+	seeds = append(seeds, nil, make([]byte, 1), make([]byte, headerSize))
+	return seeds
+}
+
+// FuzzDecode asserts Decode never panics on arbitrary input, and that any
+// packet it accepts is internally consistent and survives an Encode→Decode
+// round trip bit-exactly.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		p, err := Decode(buf)
+		if err != nil {
+			return
+		}
+		if len(p.Payload) != p.PayloadLen() {
+			t.Fatalf("decoded payload %dB != declared %dB", len(p.Payload), p.PayloadLen())
+		}
+		if p.Aggregated && (p.DirtyBytes == 0 || p.DirtyBytes > 4) {
+			t.Fatalf("accepted invalid dirty-byte length %d", p.DirtyBytes)
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted packet failed: %v", err)
+		}
+		q, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if q.Addr != p.Addr || q.Aggregated != p.Aggregated ||
+			q.DirtyBytes != p.DirtyBytes || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+		}
+	})
+}
+
+// FuzzDecodeFramed asserts the CRC-framed decode path never panics and
+// never delivers data from a frame whose CRC does not match.
+func FuzzDecodeFramed(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		p, err := DecodeFramed(buf)
+		if err != nil {
+			return
+		}
+		refr, err := p.EncodeFramed()
+		if err != nil {
+			t.Fatalf("re-frame of accepted packet failed: %v", err)
+		}
+		if _, err := DecodeFramed(refr); err != nil {
+			t.Fatalf("round-trip framed decode failed: %v", err)
+		}
+	})
+}

@@ -89,8 +89,8 @@ func AblationInvalidation() *Table {
 		Title:  "Update protocol vs stock invalidation MESI (batch 4)",
 		Header: []string{"Model", "Update total", "Invalidation total", "Penalty"},
 	}
-	upd := core.NewEngine(core.Config{})
-	inv := core.NewEngine(core.Config{Invalidation: true})
+	upd := core.MustEngine(core.Config{})
+	inv := core.MustEngine(core.Config{Invalidation: true})
 	var sum float64
 	var n int
 	for _, m := range modelzoo.EvaluationModels() {
@@ -128,8 +128,8 @@ func Fig11TableIV() *Table {
 		"T5-large":          {4: "1.73x", 8: "1.58x", 16: "OOM"},
 	}
 	base := zero.NewEngine()
-	cxlE := core.NewEngine(core.Config{})
-	redE := core.NewEngine(core.Config{DBA: true})
+	cxlE := core.MustEngine(core.Config{})
+	redE := core.MustEngine(core.Config{DBA: true})
 	for _, m := range modelzoo.EvaluationModels() {
 		batches := evalBatches
 		if m.FullGraphOnly {
@@ -224,9 +224,9 @@ func Fig12() *Table {
 		step func(modelzoo.Model, int) phases.StepResult
 	}{
 		{"ZeRO-Offload", func(m modelzoo.Model, b int) phases.StepResult { return zero.NewEngine().Step(m, b) }},
-		{"TECO-CXL", func(m modelzoo.Model, b int) phases.StepResult { return core.NewEngine(core.Config{}).Step(m, b) }},
+		{"TECO-CXL", func(m modelzoo.Model, b int) phases.StepResult { return core.MustEngine(core.Config{}).Step(m, b) }},
 		{"TECO-Reduction", func(m modelzoo.Model, b int) phases.StepResult {
-			return core.NewEngine(core.Config{DBA: true}).Step(m, b)
+			return core.MustEngine(core.Config{DBA: true}).Step(m, b)
 		}},
 	}
 	for _, b := range []int{4, 8} {
@@ -255,7 +255,7 @@ func CommVolume() *Table {
 			"Grad bytes", "Comm-time reduction"},
 	}
 	base := zero.NewEngine()
-	red := core.NewEngine(core.Config{DBA: true})
+	red := core.MustEngine(core.Config{DBA: true})
 	var sum float64
 	var n int
 	gb := func(v int64) string { return fmt.Sprintf("%.2fGB", float64(v)/1e9) }
@@ -284,8 +284,8 @@ func TableVI() *Table {
 		"GPT2-Large": "1.67x/1.79x", "GPT2-11B": "1.29x/1.41x",
 	}
 	base := zero.NewEngine()
-	cxlE := core.NewEngine(core.Config{})
-	redE := core.NewEngine(core.Config{DBA: true})
+	cxlE := core.MustEngine(core.Config{})
+	redE := core.MustEngine(core.Config{DBA: true})
 	for _, m := range modelzoo.SensitivityModels() {
 		rb := base.Step(m, 4)
 		t.AddRow(m.Name, "1x",
@@ -307,8 +307,8 @@ func Fig13(seed int64) *Table {
 	}
 	m := modelzoo.GPT2()
 	base := zero.NewEngine().Step(m, 4)
-	cxlStep := core.NewEngine(core.Config{}).Step(m, 4).Total()
-	dbaStep := core.NewEngine(core.Config{DBA: true}).Step(m, 4).Total()
+	cxlStep := core.MustEngine(core.Config{}).Step(m, 4).Total()
+	dbaStep := core.MustEngine(core.Config{DBA: true}).Step(m, 4).Total()
 	total := RealTrainSteps
 	for _, act := range []int{0, total / 8, total / 4, total / 2, 3 * total / 4, total} {
 		r := realtrain.Run(realtrain.Config{Steps: total, Seed: seed, DBA: true, ActAfterSteps: act})
@@ -332,7 +332,7 @@ func AblationDPU() *Table {
 		Header: []string{"Batch", "ZeRO-Offload", "ZeRO+DPU", "TECO-Reduction", "TECO vs DPU"},
 	}
 	e := zero.NewEngine()
-	red := core.NewEngine(core.Config{DBA: true})
+	red := core.MustEngine(core.Config{DBA: true})
 	m := modelzoo.BertLargeCased()
 	for _, b := range []int{4, 8, 16, 20} {
 		plain := e.Step(m, b)
@@ -420,12 +420,25 @@ func All(seed int64) []*Table {
 		TableVII(),
 		TableVIII(seed),
 		LAMMPS(),
+		FaultSweep(Options{Seed: seed}),
 	}
 }
 
 // ByID runs a single experiment by its id; Fig2 returns two tables.
 func ByID(id string, seed int64) ([]*Table, error) {
+	return ByIDWith(id, Options{Seed: seed})
+}
+
+// ByIDWith runs a single experiment with the full option set (fault
+// injection knobs included).
+func ByIDWith(id string, opt Options) ([]*Table, error) {
+	seed := opt.Seed
 	switch id {
+	case "faults":
+		if err := opt.validateFaults(); err != nil {
+			return nil, err
+		}
+		return []*Table{FaultSweep(opt)}, nil
 	case "table1":
 		return []*Table{TableI()}, nil
 	case "fig2", "fig2a", "fig2b":
@@ -472,5 +485,5 @@ func ByID(id string, seed int64) ([]*Table, error) {
 func IDs() []string {
 	return []string{"table1", "fig2", "ablation-inval", "fig11", "table5", "fig10",
 		"fig12", "volume", "table6", "fig13", "table7", "table8", "lammps",
-		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "all"}
+		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "faults", "all"}
 }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"teco/internal/core"
+	"teco/internal/cxl"
+	"teco/internal/modelzoo"
+)
+
+// Options parameterizes experiment generation beyond the seed. The zero
+// value of the fault knobs reproduces the paper's lossless-link evaluation.
+type Options struct {
+	// Seed drives the randomized experiments (real training, fault draws).
+	Seed int64
+	// BER centres the fault sweep on a specific bit-error rate; 0 uses the
+	// default grid.
+	BER float64
+	// RetryBudget overrides the link-layer retransmit budget (0: default).
+	RetryBudget int
+	// Degrade enables the graceful-degradation policy in the fault sweep.
+	Degrade bool
+}
+
+// validateFaults rejects fault-sweep options the link layer cannot model,
+// so the CLI fails fast instead of emitting a truncated grid.
+func (opt Options) validateFaults() error {
+	return cxl.FaultConfig{
+		Seed:        opt.Seed,
+		BER:         opt.BER,
+		RetryBudget: opt.RetryBudget,
+	}.Validate()
+}
+
+// faultSweepBERs returns the swept error rates: the default grid spans the
+// retry-dominated regime up to past the DBA degradation crossover; an
+// explicit BER centres a decade around the requested value. Grid points
+// scaled out of the modelable range [0,1) are dropped.
+func faultSweepBERs(opt Options) []float64 {
+	grid := []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 5e-4}
+	if opt.BER > 0 {
+		grid = []float64{0, opt.BER / 10, opt.BER, opt.BER * 10}
+	}
+	out := grid[:0]
+	for _, b := range grid {
+		if b < 1 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FaultSweep is the BER x dirty_bytes robustness grid (Bert-large-cased,
+// batch 4): per cell, the retry/replay volume, the exposed retry latency,
+// the step-time inflation over the fault-free link, and whether the
+// graceful-degradation policy abandoned aggregation for full-line
+// transfers.
+func FaultSweep(opt Options) *Table {
+	t := &Table{
+		ID:    "faults",
+		Title: "Link-fault sweep: retry/replay cost and DBA degradation (Bert-large-cased, batch 4)",
+		Header: []string{"BER", "dirty_bytes", "Retries", "Replayed", "Poisoned",
+			"Exposed retry", "Total", "vs clean", "Policy"},
+	}
+	m := modelzoo.BertLargeCased()
+	bw := modelzoo.CXLLinkBandwidth()
+	dirties := []int{1, 2, 4}
+	clean := make(map[int]float64)
+	for _, ber := range faultSweepBERs(opt) {
+		for _, db := range dirties {
+			cfg := core.Config{
+				DBA:        true,
+				DirtyBytes: db,
+				Degrade:    opt.Degrade,
+				Faults: cxl.FaultConfig{
+					Seed:        opt.Seed,
+					BER:         ber,
+					RetryBudget: opt.RetryBudget,
+				},
+			}
+			e, err := core.NewEngine(cfg)
+			if err != nil {
+				t.Note("invalid fault config: %v", err)
+				return t
+			}
+			r := e.Step(m, 4)
+			total := float64(r.Total())
+			if ber == 0 {
+				clean[db] = total
+			}
+			policy := "DBA"
+			if r.Fault.Degraded {
+				policy = "full-line (degraded)"
+			}
+			t.AddRow(
+				fmt.Sprintf("%.0e", ber),
+				fmt.Sprint(db),
+				fmt.Sprint(r.Fault.Retries),
+				mb(r.Fault.ReplayedBytes),
+				fmt.Sprint(r.Fault.Poisoned),
+				ms(r.Fault.Exposed.Milliseconds()),
+				ms(r.Total().Milliseconds()),
+				f2(total/clean[db])+"x",
+				policy,
+			)
+		}
+	}
+	cross := core.DegradationCrossoverBER(cxl.FaultConfig{BER: 1e-6, RetryBudget: opt.RetryBudget}, 2, bw)
+	t.Note("aggregated payloads become uneconomical (every retried DBA packet re-pays the merge-header round trip) above BER ~%.1e for dirty_bytes=2; pass -degrade to let the policy fall back to full lines", cross)
+	return t
+}
+
+// mb formats a byte count as mebibytes.
+func mb(v int64) string { return fmt.Sprintf("%.1fMB", float64(v)/(1<<20)) }

@@ -32,7 +32,7 @@ func LinkSpeedSweep() *Table {
 	for _, g := range gens {
 		base := zero.NewEngine()
 		base.LinkBandwidth = g.raw * modelzoo.BaselineDMAEfficiency
-		teco := core.NewEngine(core.Config{DBA: true})
+		teco := core.MustEngine(core.Config{DBA: true})
 		teco.LinkBandwidth = g.raw * modelzoo.CXLEfficiency
 		rb := base.Step(m, 4)
 		rt := teco.Step(m, 4)

@@ -29,8 +29,8 @@ func TimeToLoss(seed int64) *Table {
 	red := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed, DBA: true, ActAfterSteps: act})
 
 	baseStep := zero.NewEngine().Step(m, 4).Total()
-	cxlStep := core.NewEngine(core.Config{}).Step(m, 4).Total()
-	dbaStep := core.NewEngine(core.Config{DBA: true}).Step(m, 4).Total()
+	cxlStep := core.MustEngine(core.Config{}).Step(m, 4).Total()
+	dbaStep := core.MustEngine(core.Config{DBA: true}).Step(m, 4).Total()
 
 	// Wall-clock of step s under each system.
 	baseClock := func(s int) sim.Time { return sim.Time(int64(baseStep) * int64(s+1)) }

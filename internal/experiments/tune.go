@@ -25,8 +25,8 @@ func TuneActAfterSteps(seed int64) *Table {
 	}
 	m := modelzoo.GPT2()
 	base := zero.NewEngine().Step(m, 4)
-	cxlStep := core.NewEngine(core.Config{}).Step(m, 4).Total()
-	dbaStep := core.NewEngine(core.Config{DBA: true}).Step(m, 4).Total()
+	cxlStep := core.MustEngine(core.Config{}).Step(m, 4).Total()
+	dbaStep := core.MustEngine(core.Config{DBA: true}).Step(m, 4).Total()
 
 	type point struct {
 		act            int

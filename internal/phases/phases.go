@@ -81,6 +81,38 @@ func (v Variant) String() string {
 	}
 }
 
+// FaultStats summarizes link-fault activity and recovery during one step.
+// The zero value means a pristine link (no fault injection configured).
+type FaultStats struct {
+	// Retries counts link-layer packet retransmissions (NAK + replay).
+	Retries int64
+	// ReplayedBytes is the wire volume retransmitted from replay buffers.
+	ReplayedBytes int64
+	// Poisoned counts packets whose retry budget was exhausted and that
+	// were delivered poisoned to the protocol layer.
+	Poisoned int64
+	// Recovered counts poisoned lines the coherence protocol re-fetched
+	// on demand instead of consuming corrupt data.
+	Recovered int64
+	// Stalls counts injected controller-queue stalls; StallTime is their
+	// cumulative duration.
+	Stalls    int64
+	StallTime sim.Time
+	// Exposed is the retry/recovery latency on the step's critical path:
+	// the difference between the faulted and fault-free fence times plus
+	// the on-demand poison-recovery round trips.
+	Exposed sim.Time
+	// Degraded reports that the graceful-degradation policy switched the
+	// step from DBA-aggregated payloads to full-line transfers.
+	Degraded bool
+}
+
+// Any reports whether any fault activity was recorded.
+func (f FaultStats) Any() bool {
+	return f.Retries != 0 || f.Poisoned != 0 || f.Stalls != 0 ||
+		f.Exposed != 0 || f.Degraded
+}
+
 // StepResult is a simulated training step: the breakdown plus link-volume
 // accounting.
 type StepResult struct {
@@ -90,6 +122,9 @@ type StepResult struct {
 	// interconnect in each direction per step.
 	ParamLinkBytes int64
 	GradLinkBytes  int64
+	// Fault is the step's link-fault accounting (zero when no faults are
+	// injected).
+	Fault FaultStats
 }
 
 // TotalLinkBytes returns combined link volume.

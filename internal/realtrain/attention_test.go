@@ -68,6 +68,9 @@ func TestAttentionGradientsMatchFiniteDifferences(t *testing.T) {
 }
 
 func TestAttentionArchLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	r := Run(Config{Steps: 150, Seed: 11, Arch: "attention", PreSteps: 800})
 	if r.FinalAcc < 0.4 {
 		t.Fatalf("attention proxy accuracy %.3f", r.FinalAcc)
@@ -77,6 +80,9 @@ func TestAttentionArchLearns(t *testing.T) {
 // TestAttentionDBAConvergence: the Table V property holds on the
 // transformer-family architecture too.
 func TestAttentionDBAConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	base := Run(Config{Steps: 300, Seed: 21, Arch: "attention", PreSteps: 800})
 	red := Run(Config{Steps: 300, Seed: 21, Arch: "attention", PreSteps: 800, DBA: true, ActAfterSteps: 100})
 	if diff := base.FinalAcc - red.FinalAcc; diff > 0.10 {

@@ -101,6 +101,9 @@ func TestGradientsMatchFiniteDifferences(t *testing.T) {
 }
 
 func TestTrainingLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	r := Run(Config{Steps: 200, Seed: 11})
 	if r.FinalAcc < 0.5 {
 		t.Fatalf("final accuracy %.2f — model did not learn", r.FinalAcc)
@@ -122,6 +125,9 @@ func TestRunDeterministic(t *testing.T) {
 // reaches accuracy close to the exact run, and the loss curves follow the
 // same trend.
 func TestDBAPreservesConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	base := Run(Config{Steps: 600, Seed: 21})
 	red := Run(Config{Steps: 600, Seed: 21, DBA: true, ActAfterSteps: 200})
 	if red.ActivatedAt != 200 {
@@ -142,6 +148,9 @@ func TestDBAPreservesConvergence(t *testing.T) {
 // overwhelming majority change only their low two bytes, while gradients
 // change across all bytes (paper Observation 2).
 func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	r := Run(Config{Steps: 300, Seed: 31})
 	params, grads := r.AggregateDistributions()
 	lowTwo := params.FracOfChanged(tensor.LastByte) + params.FracOfChanged(tensor.LastTwoBytes)
@@ -161,6 +170,9 @@ func TestFig2Shape(t *testing.T) {
 // more accuracy than activating late, because early training still moves
 // parameter exponents.
 func TestImmediateDBAHurtsMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	late := Run(Config{Steps: 600, Seed: 41, DBA: true, ActAfterSteps: 400})
 	early := Run(Config{Steps: 600, Seed: 41, DBA: true, ActAfterSteps: 0})
 	if early.DivergedWords < late.DivergedWords {
@@ -229,6 +241,9 @@ func TestMergeMatchesDBADisaggregate(t *testing.T) {
 // the GPU-side FP32->FP16 conversion does not defeat DBA, because the
 // CPU->GPU transfer stays FP32.
 func TestFP16ComputeComposesWithDBA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	fp16 := Run(Config{Steps: 400, Seed: 61, FP16Compute: true})
 	both := Run(Config{Steps: 400, Seed: 61, FP16Compute: true, DBA: true, ActAfterSteps: 100})
 	if fp16.FinalAcc < 0.35 {
@@ -241,6 +256,9 @@ func TestFP16ComputeComposesWithDBA(t *testing.T) {
 
 // TestFP16AloneCloseToFP32: the mixed-precision rounding itself is benign.
 func TestFP16AloneCloseToFP32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	fp32 := Run(Config{Steps: 300, Seed: 71})
 	fp16 := Run(Config{Steps: 300, Seed: 71, FP16Compute: true})
 	if diff := fp32.FinalAcc - fp16.FinalAcc; diff > 0.10 || diff < -0.10 {
@@ -252,6 +270,9 @@ func TestFP16AloneCloseToFP32(t *testing.T) {
 // run transfers full parameters, so its sampled losses must be bit-identical
 // to the exact run's.
 func TestTrajectoriesIdenticalBeforeActivation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long training run in -short mode")
+	}
 	const act = 200
 	base := Run(Config{Steps: 300, Seed: 81})
 	red := Run(Config{Steps: 300, Seed: 81, DBA: true, ActAfterSteps: act})

@@ -98,11 +98,11 @@ func Simulate(sys System, m Model, batch int, cfg SimConfig) StepResult {
 		}
 		return zero.NewEngine().Step(m, batch)
 	case TECOCXL:
-		return core.NewEngine(core.Config{}).Step(m, batch)
+		return core.MustEngine(core.Config{}).Step(m, batch)
 	case TECOReduction:
-		return core.NewEngine(core.Config{DBA: true, DirtyBytes: cfg.DirtyBytes}).Step(m, batch)
+		return core.MustEngine(core.Config{DBA: true, DirtyBytes: cfg.DirtyBytes}).Step(m, batch)
 	default:
-		return core.NewEngine(core.Config{Invalidation: true}).Step(m, batch)
+		return core.MustEngine(core.Config{Invalidation: true}).Step(m, batch)
 	}
 }
 
