@@ -8,12 +8,19 @@ all: build vet test
 
 # Full verification gate: vet, race-enabled tests (-short skips the long
 # numeric-training runs, which are single-threaded and covered by `test`),
-# and a short native fuzz run over the CXL packet decoder.
+# short native fuzz runs over the CXL packet decoder and the checkpoint
+# snapshot decoder, and — when the tools are installed — staticcheck and
+# govulncheck (CI always runs them; locally they are skipped if absent).
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short -timeout 20m ./...
 	$(GO) test -fuzz='FuzzDecode$$' -fuzztime=10s ./internal/cxl
 	$(GO) test -fuzz='FuzzDecodeFramed$$' -fuzztime=10s ./internal/cxl
+	$(GO) test -fuzz='FuzzDecodeSnapshot$$' -fuzztime=10s ./internal/checkpoint
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
 build:
 	$(GO) build ./...
@@ -39,6 +46,7 @@ experiments:
 	$(GO) run ./cmd/tecosim -markdown time-to-loss
 	$(GO) run ./cmd/tecosim -markdown linkspeed
 	$(GO) run ./cmd/tecosim -markdown -degrade faults
+	$(GO) run ./cmd/tecosim -markdown recovery
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

@@ -24,8 +24,11 @@ func main() {
 	ber := flag.Float64("ber", 0, "link bit-error rate for the fault sweep (0: default grid)")
 	retryBudget := flag.Int("retry-budget", 0, "link-layer retransmit budget before poisoning (0: default 8)")
 	degrade := flag.Bool("degrade", false, "enable graceful degradation from DBA to full-line transfers under faults")
+	ckptInterval := flag.Int("ckpt-interval", 0, "checkpoint interval in steps for the recovery sweep (0: default grid)")
+	ckptDir := flag.String("ckpt-dir", "", "root directory for recovery-sweep checkpoints (default: system temp)")
+	crashAt := flag.Int("crash-at", 0, "kill and restore each recovery-sweep run at this step (0: no crash)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-ber R] [-retry-budget N] [-degrade] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-ber R] [-retry-budget N] [-degrade] [-ckpt-interval N] [-ckpt-dir D] [-crash-at N] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 		flag.PrintDefaults()
 	}
@@ -42,10 +45,13 @@ func main() {
 		os.Exit(2)
 	}
 	tabs, err := experiments.ByIDWith(flag.Arg(0), experiments.Options{
-		Seed:        *seed,
-		BER:         *ber,
-		RetryBudget: *retryBudget,
-		Degrade:     *degrade,
+		Seed:         *seed,
+		BER:          *ber,
+		RetryBudget:  *retryBudget,
+		Degrade:      *degrade,
+		CkptInterval: *ckptInterval,
+		CkptDir:      *ckptDir,
+		CrashAt:      *crashAt,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,38 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+)
+
+// This file is the crash-injection harness's file-damage toolkit: the
+// recovery tests use it to prove that a checkpoint hit by a torn write
+// (truncation) or a silent media bit flip is always detected by CRC and
+// never loaded.
+
+// FlipBit flips one bit of a file in place. bit indexes from the start of
+// the file (bit 0 is the LSB of byte 0).
+func FlipBit(path string, bit int64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= int64(len(buf))*8 {
+		return fmt.Errorf("checkpoint: bit %d outside file of %d bytes", bit, len(buf))
+	}
+	buf[bit/8] ^= 1 << (bit % 8)
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// TruncateTail removes the last n bytes of a file — a torn write from a
+// crash mid-checkpoint on a filesystem without atomic rename.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > fi.Size() {
+		return fmt.Errorf("checkpoint: truncate %d bytes from file of %d", n, fi.Size())
+	}
+	return os.Truncate(path, fi.Size()-n)
+}

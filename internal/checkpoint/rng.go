@@ -1,0 +1,55 @@
+package checkpoint
+
+import "math/rand"
+
+// CountingSource wraps the standard seeded source and counts every draw, so
+// a checkpoint can record the exact stream position and a restore can
+// fast-forward a fresh source to it. Wrapping at the Source level (rather
+// than counting Intn calls) makes the count exact regardless of rejection
+// loops inside rand.Rand, and keeps the generated stream bit-identical to
+// using rand.NewSource directly.
+type CountingSource struct {
+	seed  int64
+	src   rand.Source64
+	draws uint64
+}
+
+var _ rand.Source64 = (*CountingSource)(nil)
+
+// NewCountingSource returns a counting source seeded like rand.NewSource.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws one value, counting it.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 draws one value, counting it.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the draw count.
+func (s *CountingSource) Seed(seed int64) {
+	s.seed = seed
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// Draws returns the number of values drawn since seeding.
+func (s *CountingSource) Draws() uint64 { return s.draws }
+
+// FastForward reseeds the source and replays draws until the stream is at
+// position n, so the next draw is bit-identical to the (n+1)-th draw of an
+// uninterrupted run.
+func (s *CountingSource) FastForward(n uint64) {
+	s.Seed(s.seed)
+	for s.draws < n {
+		s.draws++
+		s.src.Uint64()
+	}
+}

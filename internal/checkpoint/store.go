@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DefaultKeepLast is the retention depth when StoreConfig leaves it zero:
+// the latest snapshot plus two fallbacks, so a snapshot corrupted on disk
+// (or torn by a crash mid-rename on a non-atomic filesystem) still leaves
+// recovery points.
+const DefaultKeepLast = 3
+
+// ErrNoSnapshot reports a store with no loadable snapshot — every file was
+// missing or corrupt. Callers fall back to a cold start.
+var ErrNoSnapshot = errors.New("checkpoint: no loadable snapshot")
+
+// Store manages a directory of snapshot files named ckpt-<step>.teco.
+// Writes are atomic (write to a temp file, fsync, rename into place) so a
+// crash mid-checkpoint never leaves a half-written file under a live name,
+// and retention keeps the last K snapshots.
+type Store struct {
+	dir  string
+	keep int
+}
+
+// NewStore opens (creating if needed) a checkpoint directory. keep <= 0
+// selects DefaultKeepLast.
+func NewStore(dir string, keep int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty store directory")
+	}
+	if keep <= 0 {
+		keep = DefaultKeepLast
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store: %w", err)
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// path returns the snapshot filename for a step.
+func (st *Store) path(step int64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("ckpt-%012d.teco", step))
+}
+
+// Save atomically persists a snapshot and prunes old files past the
+// retention depth. It returns the final path and the encoded size.
+func (st *Store) Save(s *Snapshot) (string, int64, error) {
+	wire := s.Encode()
+	tmp, err := os.CreateTemp(st.dir, ".ckpt-*.tmp")
+	if err != nil {
+		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(wire); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
+	}
+	final := st.path(s.Step)
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
+	}
+	st.prune()
+	return final, int64(len(wire)), nil
+}
+
+// prune removes snapshots beyond the retention depth, oldest first. Errors
+// are ignored: retention is best-effort housekeeping, never a reason to
+// fail a checkpoint that is already durable.
+func (st *Store) prune() {
+	files, err := st.List()
+	if err != nil || len(files) <= st.keep {
+		return
+	}
+	for _, f := range files[:len(files)-st.keep] {
+		os.Remove(f)
+	}
+}
+
+// List returns the snapshot files in ascending step order (the name embeds
+// the zero-padded step, so lexical order is step order).
+func (st *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if filepath.Ext(name) == ".teco" && len(name) > 10 && name[:5] == "ckpt-" {
+			out = append(out, filepath.Join(st.dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadInfo reports what a LoadLatest walk found.
+type LoadInfo struct {
+	// Path is the file the returned snapshot came from; Size is its
+	// encoded length in bytes.
+	Path string
+	Size int64
+	// Skipped lists newer snapshot files that were rejected as corrupt —
+	// each was detected by CRC/framing and never partially loaded.
+	Skipped []string
+}
+
+// LoadLatest returns the newest snapshot that decodes and CRC-verifies,
+// skipping (and reporting) corrupt files. It returns ErrNoSnapshot when
+// nothing is loadable, including when the directory does not exist yet.
+func (st *Store) LoadLatest() (*Snapshot, LoadInfo, error) {
+	var info LoadInfo
+	files, err := st.List()
+	if err != nil {
+		return nil, info, err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		buf, err := os.ReadFile(files[i])
+		if err != nil {
+			info.Skipped = append(info.Skipped, files[i])
+			continue
+		}
+		s, err := Decode(buf)
+		if err != nil {
+			info.Skipped = append(info.Skipped, files[i])
+			continue
+		}
+		info.Path = files[i]
+		info.Size = int64(len(buf))
+		return s, info, nil
+	}
+	return nil, info, ErrNoSnapshot
+}
+
+// Latest returns the path of the newest snapshot file (without validating
+// it) — the handle the crash-injection harness corrupts.
+func (st *Store) Latest() (string, error) {
+	files, err := st.List()
+	if err != nil {
+		return "", err
+	}
+	if len(files) == 0 {
+		return "", ErrNoSnapshot
+	}
+	return files[len(files)-1], nil
+}

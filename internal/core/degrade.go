@@ -32,7 +32,11 @@ func AggregatedUneconomical(fc cxl.FaultConfig, dirtyBytes int, bytesPerSecond f
 	if bytesPerSecond <= 0 {
 		bytesPerSecond = cxl.EffectiveBandwidth()
 	}
-	f := cxl.NewFaultModel(fc)
+	f, err := cxl.NewFaultModel(fc)
+	if err != nil {
+		// An unmodelable config cannot be priced; never degrade on it.
+		return false
+	}
 	cfg := f.Config()
 	sf := float64(sim.DurationForBytes(mem.LineSize, bytesPerSecond))
 	sa := float64(sim.DurationForBytes(int64(mem.LineSize/4*dirtyBytes), bytesPerSecond))

@@ -98,7 +98,7 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 	if cfg.Faults.Enabled() {
 		fcfg := cfg.Faults
 		fcfg.Seed = 2*fcfg.Seed + 5
-		fm = cxl.NewFaultModel(fcfg)
+		fm = cxl.MustFaultModel(fcfg) // validated above
 	}
 
 	amap := mem.NewMap()
@@ -225,7 +225,7 @@ func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, Repl
 	if cfg.Faults.Enabled() {
 		fcfg := cfg.Faults
 		fcfg.Seed = 2*fcfg.Seed + 6
-		fm = cxl.NewFaultModel(fcfg)
+		fm = cxl.MustFaultModel(fcfg) // validated above
 	}
 
 	amap := mem.NewMap()

@@ -98,6 +98,14 @@ func MustEngine(cfg Config) *Engine {
 	return e
 }
 
+// mustInject attaches a fault model to a link from a config NewEngine has
+// already validated (derived-seed variants keep the same ranges).
+func mustInject(l *cxl.Link, cfg cxl.FaultConfig) {
+	if _, err := l.InjectFaults(cfg); err != nil {
+		panic(err)
+	}
+}
+
 // paramLinkBytes returns the CPU->GPU payload volume for one step.
 func (e *Engine) paramLinkBytes(m modelzoo.Model, useDBA bool) int64 {
 	if !useDBA || e.Config.Invalidation {
@@ -145,8 +153,8 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int, useDBA bool) phases.Ste
 		upCfg, downCfg := fc, fc
 		upCfg.Seed = 2*fc.Seed + 1
 		downCfg.Seed = 2*fc.Seed + 2
-		up.InjectFaults(upCfg)
-		down.InjectFaults(downCfg)
+		mustInject(up, upCfg)
+		mustInject(down, downCfg)
 	}
 
 	fwd := e.GPU.ForwardTime(m, batch)
@@ -268,8 +276,8 @@ func (e *Engine) stepInvalidation(m modelzoo.Model, batch int) phases.StepResult
 		pCfg, gCfg := fc, fc
 		pCfg.Seed = 2*fc.Seed + 3
 		gCfg.Seed = 2*fc.Seed + 4
-		link.InjectFaults(pCfg)
-		glink.InjectFaults(gCfg)
+		mustInject(link, pCfg)
+		mustInject(glink, gCfg)
 	}
 
 	fwd := e.GPU.ForwardTime(m, batch)

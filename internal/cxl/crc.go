@@ -10,12 +10,12 @@ import (
 // engine: a CRC-16 over the packet wire image, so a corrupted frame is
 // *detected* and NAKed instead of being decoded into wrong data.
 
-// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over p —
-// the polynomial family CXL's link layer uses for flit protection.
-func CRC16(p []byte) uint16 {
-	crc := uint16(0xFFFF)
-	for _, b := range p {
-		crc ^= uint16(b) << 8
+// crcTable is the byte-at-a-time lookup table for CRC-16/CCITT-FALSE. The
+// checkpoint subsystem runs this CRC over multi-megabyte tensor snapshots
+// every training step, so the bitwise loop is folded into a table once.
+var crcTable = func() (t [256]uint16) {
+	for b := 0; b < 256; b++ {
+		crc := uint16(b) << 8
 		for i := 0; i < 8; i++ {
 			if crc&0x8000 != 0 {
 				crc = crc<<1 ^ 0x1021
@@ -23,6 +23,23 @@ func CRC16(p []byte) uint16 {
 				crc <<= 1
 			}
 		}
+		t[b] = crc
+	}
+	return
+}()
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over p —
+// the polynomial family CXL's link layer uses for flit protection.
+func CRC16(p []byte) uint16 {
+	return UpdateCRC16(0xFFFF, p)
+}
+
+// UpdateCRC16 continues a CRC-16/CCITT-FALSE computation over p from a
+// previous state (start from 0xFFFF), so large tensors can be checksummed
+// in chunks without concatenating their bytes.
+func UpdateCRC16(crc uint16, p []byte) uint16 {
+	for _, b := range p {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
 	}
 	return crc
 }

@@ -94,17 +94,25 @@ func (l *Link) ServiceTime(n int, extra sim.Time) sim.Time {
 // disabled config (zero error rate, no stalls, no degradation) attaches
 // nothing and the link stays bit-identical to the fault-free model. A
 // persistent BandwidthDegrade factor in (0,1) immediately retrains the link
-// to the degraded rate.
-func (l *Link) InjectFaults(cfg FaultConfig) *FaultModel {
+// to the degraded rate. An invalid config is returned as an error and
+// leaves the link untouched.
+func (l *Link) InjectFaults(cfg FaultConfig) (*FaultModel, error) {
 	if !cfg.Enabled() {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
 		l.faults = nil
-		return nil
+		return nil, nil
 	}
-	l.faults = NewFaultModel(cfg)
+	fm, err := NewFaultModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	l.faults = fm
 	if f := cfg.BandwidthDegrade; f > 0 && f < 1 {
 		l.bytesPerSecond *= f
 	}
-	return l.faults
+	return l.faults, nil
 }
 
 // Faults returns the attached fault model (nil on a pristine link).

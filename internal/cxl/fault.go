@@ -148,18 +148,28 @@ type FaultModel struct {
 	flitErrProb float64
 }
 
-// NewFaultModel builds a model from cfg (defaults applied). It panics on an
-// invalid config — validate at the API boundary with cfg.Validate.
-func NewFaultModel(cfg FaultConfig) *FaultModel {
+// NewFaultModel builds a model from cfg (defaults applied). An invalid
+// configuration is returned as an error, mirroring NewEngine.
+func NewFaultModel(cfg FaultConfig) (*FaultModel, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	return &FaultModel{
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		flitErrProb: -math.Expm1(float64(FlitBytes*8) * math.Log1p(-cfg.BER)),
+	}, nil
+}
+
+// MustFaultModel is NewFaultModel for statically known-good configurations;
+// it panics on an invalid config.
+func MustFaultModel(cfg FaultConfig) *FaultModel {
+	f, err := NewFaultModel(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return f
 }
 
 // Config returns the model's configuration with defaults applied.

@@ -18,13 +18,20 @@ func sendPattern(l *Link) (last sim.Time, results []FlowResult) {
 	return last, results
 }
 
+func mustInjectT(t *testing.T, l *Link, cfg FaultConfig) {
+	t.Helper()
+	if _, err := l.InjectFaults(cfg); err != nil {
+		t.Fatalf("InjectFaults(%+v): %v", cfg, err)
+	}
+}
+
 func TestZeroFaultConfigBitIdentical(t *testing.T) {
 	// A zero-BER, no-degradation fault config must leave every timing and
 	// byte counter bit-identical to a pristine link (fault path strictly
 	// additive).
 	clean := NewLink(sim.New(), 0, 0)
 	faulty := NewLink(sim.New(), 0, 0)
-	if fm := faulty.InjectFaults(FaultConfig{Seed: 1}); fm != nil {
+	if fm, err := faulty.InjectFaults(FaultConfig{Seed: 1}); fm != nil || err != nil {
 		t.Fatal("disabled fault config must not attach a model")
 	}
 	cd, _ := sendPattern(clean)
@@ -47,8 +54,8 @@ func TestDeterministicInjection(t *testing.T) {
 	cfg := FaultConfig{Seed: 77, BER: 2e-5, StallProb: 0.1}
 	a := NewLink(sim.New(), 0, 0)
 	b := NewLink(sim.New(), 0, 0)
-	a.InjectFaults(cfg)
-	b.InjectFaults(cfg)
+	mustInjectT(t, a, cfg)
+	mustInjectT(t, b, cfg)
 	da, ra := sendPattern(a)
 	db, rb := sendPattern(b)
 	if da != db {
@@ -67,7 +74,7 @@ func TestDeterministicInjection(t *testing.T) {
 	}
 	// A different seed draws a different error pattern.
 	c := NewLink(sim.New(), 0, 0)
-	c.InjectFaults(FaultConfig{Seed: 78, BER: 2e-5, StallProb: 0.1})
+	mustInjectT(t, c, FaultConfig{Seed: 78, BER: 2e-5, StallProb: 0.1})
 	sendPattern(c)
 	if c.FaultStats() == a.FaultStats() {
 		t.Fatal("different seeds produced identical fault streams (suspicious)")
@@ -77,7 +84,7 @@ func TestDeterministicInjection(t *testing.T) {
 func TestRetryDelaysCompletionAndCountsReplay(t *testing.T) {
 	clean := NewLink(sim.New(), 0, 0)
 	faulty := NewLink(sim.New(), 0, 0)
-	faulty.InjectFaults(FaultConfig{Seed: 3, BER: 1e-4})
+	mustInjectT(t, faulty, FaultConfig{Seed: 3, BER: 1e-4})
 	cd, _ := sendPattern(clean)
 	fd, _ := sendPattern(faulty)
 	if fd <= cd {
@@ -100,7 +107,7 @@ func TestRetryLatencyGrowsWithBER(t *testing.T) {
 	var prev sim.Time
 	for _, ber := range []float64{1e-6, 1e-5, 1e-4} {
 		l := NewLink(sim.New(), 0, 0)
-		l.InjectFaults(FaultConfig{Seed: 9, BER: ber})
+		mustInjectT(t, l, FaultConfig{Seed: 9, BER: ber})
 		sendPattern(l)
 		rt := l.FaultStats().RetryTime
 		if rt < prev {
@@ -117,7 +124,7 @@ func TestExhaustedBudgetPoisons(t *testing.T) {
 	// With a certain-corruption model and budget 2, every flow's packets
 	// end up poisoned after exactly 2 retransmit rounds.
 	l := NewLink(sim.New(), 0, 0)
-	l.InjectFaults(FaultConfig{Seed: 5, BER: 0.5, RetryBudget: 2})
+	mustInjectT(t, l, FaultConfig{Seed: 5, BER: 0.5, RetryBudget: 2})
 	r := l.SendFlow(0, 8*mem.LineSize, 0, WirePacketBytes(0), false)
 	if r.Poisoned == 0 {
 		t.Fatalf("no poison with saturating BER: %+v", r)
@@ -135,7 +142,7 @@ func TestAggregatedRetryPaysMergePenalty(t *testing.T) {
 	// merge-header round trip per retried packet.
 	mk := func(aggregated bool, pkt int) sim.Time {
 		l := NewLink(sim.New(), 0, 0)
-		l.InjectFaults(FaultConfig{Seed: 4, BER: 0.02, RetryBudget: 50})
+		mustInjectT(t, l, FaultConfig{Seed: 4, BER: 0.02, RetryBudget: 50})
 		r := l.SendFlow(0, 64*1024, 0, pkt, aggregated)
 		return r.Done - r.CleanDone
 	}
@@ -148,7 +155,7 @@ func TestAggregatedRetryPaysMergePenalty(t *testing.T) {
 
 func TestControllerStallInjection(t *testing.T) {
 	l := NewLink(sim.New(), 0, 0)
-	l.InjectFaults(FaultConfig{Seed: 6, StallProb: 1, StallTime: 3 * sim.Microsecond})
+	mustInjectT(t, l, FaultConfig{Seed: 6, StallProb: 1, StallTime: 3 * sim.Microsecond})
 	r := l.SendFlow(0, mem.LineSize, 0, 0, false)
 	if r.Stalled != 3*sim.Microsecond {
 		t.Fatalf("stall = %v, want 3us", r.Stalled)
@@ -164,7 +171,7 @@ func TestControllerStallInjection(t *testing.T) {
 func TestPersistentBandwidthDegradation(t *testing.T) {
 	clean := NewLink(sim.New(), 16e9, 0)
 	degraded := NewLink(sim.New(), 16e9, 0)
-	degraded.InjectFaults(FaultConfig{Seed: 1, BandwidthDegrade: 0.25})
+	mustInjectT(t, degraded, FaultConfig{Seed: 1, BandwidthDegrade: 0.25})
 	if got, want := degraded.BytesPerSecond(), 4e9; got != want {
 		t.Fatalf("degraded bandwidth = %g, want %g", got, want)
 	}
@@ -199,7 +206,7 @@ func TestBackPressureMonotonicUnderDegradedBandwidth(t *testing.T) {
 	// The degraded-link path must produce the same stall as an equally
 	// slow pristine link.
 	l := NewLink(sim.New(), 16e9, 4)
-	l.InjectFaults(FaultConfig{Seed: 1, BandwidthDegrade: 0.25})
+	mustInjectT(t, l, FaultConfig{Seed: 1, BandwidthDegrade: 0.25})
 	for i := 0; i < 64; i++ {
 		l.Send(0, mem.LineSize, 0)
 	}
@@ -213,7 +220,7 @@ func TestBackPressureMonotonicUnderDegradedBandwidth(t *testing.T) {
 // alongside the byte, busy, and stall counters.
 func TestResetClearsFaultCounters(t *testing.T) {
 	l := NewLink(sim.New(), 0, 4)
-	l.InjectFaults(FaultConfig{Seed: 11, BER: 1e-4, StallProb: 0.5})
+	mustInjectT(t, l, FaultConfig{Seed: 11, BER: 1e-4, StallProb: 0.5})
 	for i := 0; i < 64; i++ {
 		l.SendFlow(0, 4096, 0, WirePacketBytes(0), true)
 	}
@@ -237,7 +244,7 @@ func TestResetClearsFaultCounters(t *testing.T) {
 }
 
 func TestPacketErrorProbShape(t *testing.T) {
-	fm := NewFaultModel(FaultConfig{Seed: 1, BER: 1e-6})
+	fm := MustFaultModel(FaultConfig{Seed: 1, BER: 1e-6})
 	small := fm.PacketErrorProb(WirePacketBytes(2))
 	large := fm.PacketErrorProb(WirePacketBytes(0))
 	if small <= 0 || large <= small {
@@ -259,8 +266,8 @@ func TestCorruptFrameDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewFaultModel(FaultConfig{Seed: 21, BER: 0.01})
-	b := NewFaultModel(FaultConfig{Seed: 21, BER: 0.01})
+	a := MustFaultModel(FaultConfig{Seed: 21, BER: 0.01})
+	b := MustFaultModel(FaultConfig{Seed: 21, BER: 0.01})
 	var flippedTotal int
 	for i := 0; i < 200; i++ {
 		wa, fa := a.CorruptFrame(frame)

@@ -173,5 +173,19 @@ func (c *Controller) CheckActivation(step int) bool {
 // Active reports the current activation state.
 func (c *Controller) Active() bool { return c.Register.Active }
 
+// Restore rewinds the controller to a checkpointed activation state:
+// activatedAt < 0 means DBA had not yet switched on, any other value
+// re-activates the register as of that step. Checkpoint restore uses this
+// so a resumed run replays the exact activation history.
+func (c *Controller) Restore(activatedAt int) {
+	if activatedAt < 0 {
+		c.Register.Active = false
+		c.activatedAt = -1
+		return
+	}
+	c.Register.Active = true
+	c.activatedAt = activatedAt
+}
+
 // ActivatedAt returns the step DBA switched on, or -1.
 func (c *Controller) ActivatedAt() int { return c.activatedAt }

@@ -421,6 +421,7 @@ func All(seed int64) []*Table {
 		TableVIII(seed),
 		LAMMPS(),
 		FaultSweep(Options{Seed: seed}),
+		RecoverySweep(Options{Seed: seed}),
 	}
 }
 
@@ -439,6 +440,11 @@ func ByIDWith(id string, opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		return []*Table{FaultSweep(opt)}, nil
+	case "recovery":
+		if err := opt.validateRecovery(); err != nil {
+			return nil, err
+		}
+		return []*Table{RecoverySweep(opt)}, nil
 	case "table1":
 		return []*Table{TableI()}, nil
 	case "fig2", "fig2a", "fig2b":
@@ -485,5 +491,6 @@ func ByIDWith(id string, opt Options) ([]*Table, error) {
 func IDs() []string {
 	return []string{"table1", "fig2", "ablation-inval", "fig11", "table5", "fig10",
 		"fig12", "volume", "table6", "fig13", "table7", "table8", "lammps",
-		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "faults", "all"}
+		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "faults",
+		"recovery", "all"}
 }

@@ -184,6 +184,31 @@ func TestRealTrainExperiments(t *testing.T) {
 	}
 }
 
+func TestRecoverySweepTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training in -short mode")
+	}
+	tab := RecoverySweep(Options{Seed: 5, CkptInterval: 10, CrashAt: 13})
+	if len(tab.Rows) != 3 { // one interval x three rates
+		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("recovered run not bit-identical: %v", row)
+		}
+	}
+	// The crash at step 13 with interval 10 forces replay even at rate 0.
+	if tab.Rows[0][6] == "0" {
+		t.Fatalf("crash-restore row reports no replayed steps: %v", tab.Rows[0])
+	}
+	if _, err := ByIDWith("recovery", Options{CrashAt: -1}); err == nil {
+		t.Fatal("negative crash step accepted")
+	}
+	if _, err := ByIDWith("recovery", Options{CkptInterval: -2}); err == nil {
+		t.Fatal("negative checkpoint interval accepted")
+	}
+}
+
 func TestAblationDPUTable(t *testing.T) {
 	tab := AblationDPU()
 	if len(tab.Rows) != 4 {

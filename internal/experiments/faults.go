@@ -20,6 +20,26 @@ type Options struct {
 	RetryBudget int
 	// Degrade enables the graceful-degradation policy in the fault sweep.
 	Degrade bool
+	// CkptInterval collapses the recovery sweep's interval axis to one
+	// value (0: default grid).
+	CkptInterval int
+	// CkptDir roots the recovery sweep's (temporary, removed afterwards)
+	// checkpoint directories; empty uses the system temp directory.
+	CkptDir string
+	// CrashAt > 0 additionally kills every recovery-sweep run at that step
+	// and restores it from disk (core.CrashRun).
+	CrashAt int
+}
+
+// validateRecovery rejects recovery-sweep options before any cell runs.
+func (opt Options) validateRecovery() error {
+	if opt.CkptInterval < 0 {
+		return fmt.Errorf("experiments: negative checkpoint interval %d", opt.CkptInterval)
+	}
+	if opt.CrashAt < 0 {
+		return fmt.Errorf("experiments: negative crash step %d", opt.CrashAt)
+	}
+	return nil
 }
 
 // validateFaults rejects fault-sweep options the link layer cannot model,

@@ -62,7 +62,7 @@ func Train(cfg TrainConfig) TrainResult {
 	compute := make([]float32, n)
 	copy(compute, master)
 	grads := make([]float32, n)
-	ad := optim.NewAdam(n, optim.AdamConfig{LR: cfg.LR, WeightDecay: 5e-4})
+	ad := optim.MustAdam(n, optim.AdamConfig{LR: cfg.LR, WeightDecay: 5e-4})
 	ctrl := dba.NewController(cfg.ActAfterSteps, cfg.DirtyBytes)
 
 	res := TrainResult{Config: cfg}
@@ -70,7 +70,9 @@ func Train(cfg TrainConfig) TrainResult {
 		loss := m.LossAndGrad(compute, g, grads)
 		res.Losses = append(res.Losses, loss)
 		optim.ClipGlobalNorm(grads, 5.0)
-		ad.Step(master, grads)
+		if err := ad.Step(master, grads); err != nil {
+			panic(err) // lengths are static over the whole run
+		}
 		if cfg.DBA && ctrl.CheckActivation(e) {
 			mergeWords(compute, master, cfg.DirtyBytes)
 		} else {

@@ -43,12 +43,24 @@ type Adam struct {
 	step int
 }
 
-// NewAdam builds an optimizer for n parameters.
-func NewAdam(n int, cfg AdamConfig) *Adam {
+// NewAdam builds an optimizer for n parameters. A non-positive n is
+// returned as an error so a corrupted restore fails cleanly instead of
+// crashing the process.
+func NewAdam(n int, cfg AdamConfig) (*Adam, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("optim: %d parameters", n))
+		return nil, fmt.Errorf("optim: %d parameters", n)
 	}
-	return &Adam{cfg: cfg.withDefaults(), m: make([]float32, n), v: make([]float32, n)}
+	return &Adam{cfg: cfg.withDefaults(), m: make([]float32, n), v: make([]float32, n)}, nil
+}
+
+// MustAdam is NewAdam for statically known-good sizes; it panics on an
+// invalid size.
+func MustAdam(n int, cfg AdamConfig) *Adam {
+	a, err := NewAdam(n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -62,10 +74,12 @@ func (a *Adam) StepCount() int { return a.step }
 func (a *Adam) StateBytes() int64 { return int64(len(a.m)) * 8 }
 
 // Step applies one ADAM update: params <- params - lr * m̂ / (sqrt(v̂)+eps).
-// params and grads must have the optimizer's length.
-func (a *Adam) Step(params, grads []float32) {
+// params and grads must have the optimizer's length; a mismatch (the
+// signature of restoring a corrupted snapshot) is returned as an error
+// before any state is touched.
+func (a *Adam) Step(params, grads []float32) error {
 	if len(params) != len(a.m) || len(grads) != len(a.m) {
-		panic(fmt.Sprintf("optim: step over %d/%d values, optimizer has %d", len(params), len(grads), len(a.m)))
+		return fmt.Errorf("optim: step over %d/%d values, optimizer has %d", len(params), len(grads), len(a.m))
 	}
 	a.step++
 	b1 := a.cfg.Beta1
@@ -90,6 +104,41 @@ func (a *Adam) Step(params, grads []float32) {
 		vhat := v / c2
 		params[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
 	}
+	return nil
+}
+
+// Moments returns the live first/second moment vectors. Callers snapshot
+// them by copying; mutating them corrupts the optimizer.
+func (a *Adam) Moments() (m, v []float32) { return a.m, a.v }
+
+// Restore overwrites the optimizer state from a checkpoint: moment vectors
+// (copied in) and the step counter the bias corrections depend on. Length
+// mismatches and negative step counts are rejected without touching state.
+func (a *Adam) Restore(m, v []float32, step int) error {
+	if len(m) != len(a.m) || len(v) != len(a.v) {
+		return fmt.Errorf("optim: restore %d/%d moments into optimizer of %d", len(m), len(v), len(a.m))
+	}
+	if step < 0 {
+		return fmt.Errorf("optim: restore negative step count %d", step)
+	}
+	copy(a.m, m)
+	copy(a.v, v)
+	a.step = step
+	return nil
+}
+
+// FirstNonFinite returns the index of the first NaN or Inf in x, or -1.
+// The trainer scans parameters and optimizer moments with it after each
+// ADAM step: a NaN produced by ADAM on corrupted bytes is a silent-data-
+// corruption signal that must trigger rollback, not propagate.
+func FirstNonFinite(x []float32) int {
+	for i, v := range x {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return i
+		}
+	}
+	return -1
 }
 
 // GlobalNorm returns the L2 norm of the gradient vector.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestDefaults(t *testing.T) {
-	a := NewAdam(4, AdamConfig{})
+	a := MustAdam(4, AdamConfig{})
 	cfg := a.Config()
 	if cfg.LR != 1e-3 || cfg.Beta1 != 0.9 || cfg.Beta2 != 0.999 || cfg.Eps != 1e-8 {
 		t.Fatalf("defaults = %+v", cfg)
@@ -18,28 +18,78 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
-func TestNewAdamPanics(t *testing.T) {
+func TestNewAdamRejectsBadSize(t *testing.T) {
+	if _, err := NewAdam(0, AdamConfig{}); err == nil {
+		t.Fatal("expected error for 0 parameters")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("MustAdam must panic on invalid size")
 		}
 	}()
-	NewAdam(0, AdamConfig{})
+	MustAdam(-1, AdamConfig{})
 }
 
-func TestStepLengthMismatchPanics(t *testing.T) {
-	a := NewAdam(4, AdamConfig{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestStepLengthMismatchErrors(t *testing.T) {
+	a := MustAdam(4, AdamConfig{})
+	if err := a.Step(make([]float32, 3), make([]float32, 4)); err == nil {
+		t.Fatal("expected error for short params")
+	}
+	if err := a.Step(make([]float32, 4), make([]float32, 5)); err == nil {
+		t.Fatal("expected error for long grads")
+	}
+	if a.StepCount() != 0 {
+		t.Fatal("failed steps must not advance the step counter")
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	a := MustAdam(3, AdamConfig{LR: 0.05})
+	p := []float32{1, 2, 3}
+	for s := 0; s < 5; s++ {
+		if err := a.Step(p, []float32{0.1, -0.2, 0.3}); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	a.Step(make([]float32, 3), make([]float32, 4))
+	}
+	m, v := a.Moments()
+	b := MustAdam(3, AdamConfig{LR: 0.05})
+	if err := b.Restore(m, v, a.StepCount()); err != nil {
+		t.Fatal(err)
+	}
+	// Both optimizers must now produce bit-identical updates.
+	pa := []float32{4, 5, 6}
+	pb := []float32{4, 5, 6}
+	g := []float32{-0.5, 0.25, 0.125}
+	a.Step(pa, g)
+	b.Step(pb, g)
+	for i := range pa {
+		if math.Float32bits(pa[i]) != math.Float32bits(pb[i]) {
+			t.Fatalf("restored optimizer diverged at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	if err := b.Restore(m[:2], v, 5); err == nil {
+		t.Fatal("expected error for short moment vector")
+	}
+	if err := b.Restore(m, v, -1); err == nil {
+		t.Fatal("expected error for negative step")
+	}
+}
+
+func TestFirstNonFinite(t *testing.T) {
+	if i := FirstNonFinite([]float32{1, 2, 3}); i != -1 {
+		t.Fatalf("clean vector reported index %d", i)
+	}
+	if i := FirstNonFinite([]float32{1, float32(math.NaN()), 3}); i != 1 {
+		t.Fatalf("NaN index = %d, want 1", i)
+	}
+	if i := FirstNonFinite([]float32{float32(math.Inf(-1))}); i != 0 {
+		t.Fatalf("Inf index = %d, want 0", i)
+	}
 }
 
 // TestFirstStepMatchesHandComputation pins the exact first-step math.
 func TestFirstStepMatchesHandComputation(t *testing.T) {
-	a := NewAdam(1, AdamConfig{LR: 0.1})
+	a := MustAdam(1, AdamConfig{LR: 0.1})
 	p := []float32{1.0}
 	g := []float32{0.5}
 	a.Step(p, g)
@@ -55,7 +105,7 @@ func TestFirstStepMatchesHandComputation(t *testing.T) {
 
 // TestConvergesOnQuadratic: ADAM must minimize a simple quadratic.
 func TestConvergesOnQuadratic(t *testing.T) {
-	a := NewAdam(3, AdamConfig{LR: 0.05})
+	a := MustAdam(3, AdamConfig{LR: 0.05})
 	p := []float32{5, -3, 2}
 	target := []float32{1, 1, 1}
 	for i := 0; i < 2000; i++ {
@@ -73,7 +123,7 @@ func TestConvergesOnQuadratic(t *testing.T) {
 }
 
 func TestWeightDecayShrinksParams(t *testing.T) {
-	a := NewAdam(1, AdamConfig{LR: 0.01, WeightDecay: 0.1})
+	a := MustAdam(1, AdamConfig{LR: 0.01, WeightDecay: 0.1})
 	p := []float32{10}
 	g := []float32{0}
 	before := p[0]
@@ -152,7 +202,7 @@ func TestFirstStepDirectionProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 16
-		a := NewAdam(n, AdamConfig{LR: 0.01})
+		a := MustAdam(n, AdamConfig{LR: 0.01})
 		p := make([]float32, n)
 		g := make([]float32, n)
 		before := make([]float32, n)
@@ -183,7 +233,7 @@ func TestFirstStepDirectionProperty(t *testing.T) {
 func TestAdamUpdatesMostlyTouchLowBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	n := 4096
-	a := NewAdam(n, AdamConfig{LR: 1e-5})
+	a := MustAdam(n, AdamConfig{LR: 1e-5})
 	p := make([]float32, n)
 	for i := range p {
 		p[i] = float32(rng.NormFloat64())

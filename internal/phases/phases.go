@@ -113,6 +113,51 @@ func (f FaultStats) Any() bool {
 		f.Exposed != 0 || f.Degraded
 }
 
+// RecoveryStats summarizes checkpoint/restore activity above the link
+// layer: how often the run checkpointed, how many silent-data-corruption
+// events were detected, and what rolling back and replaying cost. The
+// zero value means no checkpointing was configured.
+type RecoveryStats struct {
+	// CkptWrites counts persisted checkpoints; CkptBytes is their total
+	// encoded volume.
+	CkptWrites int64
+	CkptBytes  int64
+	// SDCDetected counts silent-data-corruption detections (per-tensor
+	// checksum mismatches and post-ADAM NaN/Inf scans).
+	SDCDetected int64
+	// Rollbacks counts restores of the last good checkpoint after a
+	// detection; ReplayedSteps is the total number of training steps
+	// re-executed to catch back up.
+	Rollbacks     int64
+	ReplayedSteps int64
+	// CorruptSnapshotsSkipped counts on-disk checkpoints rejected by CRC
+	// during restore (the store fell back to an older one).
+	CorruptSnapshotsSkipped int64
+	// RecoveryTime is the modeled time spent re-reading snapshots during
+	// restores (encoded bytes at NVMe-class bandwidth, like every other
+	// sim.Time in this package it is deterministic); the re-executed
+	// compute is accounted separately as ReplayedSteps.
+	RecoveryTime sim.Time
+}
+
+// Any reports whether any checkpoint/recovery activity was recorded.
+func (r RecoveryStats) Any() bool {
+	return r.CkptWrites != 0 || r.SDCDetected != 0 || r.Rollbacks != 0 ||
+		r.ReplayedSteps != 0 || r.CorruptSnapshotsSkipped != 0
+}
+
+// Add returns element-wise accumulation.
+func (r RecoveryStats) Add(o RecoveryStats) RecoveryStats {
+	r.CkptWrites += o.CkptWrites
+	r.CkptBytes += o.CkptBytes
+	r.SDCDetected += o.SDCDetected
+	r.Rollbacks += o.Rollbacks
+	r.ReplayedSteps += o.ReplayedSteps
+	r.CorruptSnapshotsSkipped += o.CorruptSnapshotsSkipped
+	r.RecoveryTime += o.RecoveryTime
+	return r
+}
+
 // StepResult is a simulated training step: the breakdown plus link-volume
 // accounting.
 type StepResult struct {
@@ -125,6 +170,10 @@ type StepResult struct {
 	// Fault is the step's link-fault accounting (zero when no faults are
 	// injected).
 	Fault FaultStats
+	// Recovery is the run's checkpoint/restore accounting (zero when no
+	// checkpointing is configured); aggregated over a run and amortized
+	// per step by core.Session.
+	Recovery RecoveryStats
 }
 
 // TotalLinkBytes returns combined link volume.

@@ -1,10 +1,13 @@
 package realtrain
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
+	"teco/internal/checkpoint"
 	"teco/internal/dba"
 	"teco/internal/optim"
 	"teco/internal/tensor"
@@ -38,6 +41,13 @@ type Config struct {
 	// Arch selects the proxy architecture: "mlp" (default) or
 	// "attention" (single-head self-attention classifier).
 	Arch string
+	// SDCChecks enables the silent-data-corruption guards: per-tensor
+	// checksums validated at every step boundary and after each DBA
+	// merge, and a NaN/Inf scan of the master parameters after each ADAM
+	// step. The guards are read-only — they never change the numerics —
+	// but cost one CRC pass per resident tensor per step, so they default
+	// off for the accuracy experiments and on inside core.Session.
+	SDCChecks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +82,19 @@ func (c Config) withDefaults() Config {
 		c.Arch = "mlp"
 	}
 	return c
+}
+
+// configTag fingerprints the numerically relevant configuration. A
+// snapshot only restores into a trainer whose tag matches: resuming under
+// different hyperparameters would silently diverge from the original run.
+// SDCChecks is excluded — the guards are read-only and a guarded session
+// may restore a snapshot written by an unguarded run.
+func (c Config) configTag() uint64 {
+	h := fnv.New64a()
+	cc := c
+	cc.SDCChecks = false
+	fmt.Fprintf(h, "%+v", cc)
+	return h.Sum64()
 }
 
 // proxyModel is the architecture interface both proxies satisfy.
@@ -126,96 +149,430 @@ type Result struct {
 	DivergedWords int
 }
 
-// Run executes the fine-tuning experiment: pre-train to convergence
-// neighbourhood, then fine-tune with the ZeRO-Offload dataflow where the
-// accelerator's compute copy is refreshed through the (optionally DBA'd)
-// parameter path.
-func Run(cfg Config) Result {
+// CorruptionError reports a silent-data-corruption detection: a resident
+// tensor's checksum no longer matches its last recorded value, or ADAM
+// produced a non-finite parameter. The step that detected it made no
+// further state changes; the owner must roll back to a checkpoint.
+type CorruptionError struct {
+	// Tensor names the buffer that failed ("master", "compute",
+	// "adam.m", "adam.v").
+	Tensor string
+	// Index is the first offending element for NaN/Inf detections, -1
+	// for checksum mismatches (the CRC localizes nothing).
+	Index int
+	// NonFinite distinguishes the NaN/Inf scan from a checksum mismatch.
+	NonFinite bool
+}
+
+func (e *CorruptionError) Error() string {
+	if e.NonFinite {
+		return fmt.Sprintf("realtrain: non-finite value in %s at %d (silent data corruption)", e.Tensor, e.Index)
+	}
+	return fmt.Sprintf("realtrain: checksum mismatch on %s (silent data corruption)", e.Tensor)
+}
+
+// IsCorruption reports whether err is a silent-data-corruption detection.
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
+
+// Trainer is a step-wise, checkpointable fine-tuning run: pre-training
+// happens at construction, then each Step() executes one fine-tuning step
+// of the ZeRO-Offload dataflow where the accelerator's compute copy is
+// refreshed through the (optionally DBA'd) parameter path. Snapshot() and
+// restore (NewTrainerFromSnapshot) are bit-exact: a restored trainer
+// produces the same parameters, ADAM moments and loss trajectory as an
+// uninterrupted run with the same seeds.
+type Trainer struct {
+	cfg   Config
+	ds    *Dataset
+	model proxyModel
+	src   *checkpoint.CountingSource
+	rng   *rand.Rand
+	ad    *optim.Adam
+	ctrl  *dba.Controller
+
+	master     []float32 // CPU master copy (aliases the model's params)
+	compute    []float32 // accelerator copy (fwd/bwd uses this)
+	grads      []float32
+	prevMaster []float32
+	prevGrads  []float32
+	fp16View   []float32
+
+	step    int
+	samples []StepSample
+
+	// SDC guard state: last recorded per-tensor checksums.
+	masterSum, computeSum uint16
+	adamMSum, adamVSum    uint16
+	sumsValid             bool
+}
+
+// NewTrainer builds a trainer and runs the pre-training phase ("the paper
+// fine-tunes pre-trained models"; we reach the convergence neighbourhood
+// first so the fine-tuning updates are small — the regime where DBA's
+// premise holds).
+func NewTrainer(cfg Config) (*Trainer, error) {
+	t, err := newTrainerShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 0: "pre-training" on the master copy.
+	pre, err := optim.NewAdam(len(t.master), optim.AdamConfig{LR: t.cfg.LR})
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < t.cfg.PreSteps; s++ {
+		batch := t.ds.Batch(t.rng, t.cfg.Batch)
+		t.model.LossAndGrad(t.master, t.ds, batch, t.grads)
+		optim.ClipGlobalNorm(t.grads, t.cfg.ClipNorm)
+		if err := pre.Step(t.master, t.grads); err != nil {
+			return nil, err
+		}
+	}
+	copy(t.compute, t.master)
+	copy(t.prevMaster, t.master)
+	t.recordSums()
+	return t, nil
+}
+
+// newTrainerShell allocates everything that does not depend on training
+// history: dataset, model, RNG, optimizer, DBA controller, buffers.
+func newTrainerShell(cfg Config) (*Trainer, error) {
 	cfg = cfg.withDefaults()
 	ds := NewDataset(DatasetConfig{Seed: cfg.Seed})
 	m := newProxy(cfg, ds)
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	src := checkpoint.NewCountingSource(cfg.Seed + 2)
 
 	n := m.NumParams()
-	master := m.Parameters()      // CPU master copy (FP32, exact)
-	compute := make([]float32, n) // accelerator copy (fwd/bwd uses this)
-	grads := make([]float32, n)
+	ad, err := optim.NewAdam(n, optim.AdamConfig{LR: cfg.FineLR})
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		cfg:        cfg,
+		ds:         ds,
+		model:      m,
+		src:        src,
+		rng:        rand.New(src),
+		ad:         ad,
+		ctrl:       dba.NewController(cfg.ActAfterSteps, cfg.DirtyBytes),
+		master:     m.Parameters(),
+		compute:    make([]float32, n),
+		grads:      make([]float32, n),
+		prevMaster: make([]float32, n),
+		prevGrads:  make([]float32, n),
+		fp16View:   make([]float32, n),
+	}, nil
+}
 
-	// Phase 0: "pre-training" — the paper fine-tunes pre-trained models;
-	// we reach the convergence neighbourhood first so the fine-tuning
-	// updates are small (the regime where DBA's premise holds).
-	pre := optim.NewAdam(n, optim.AdamConfig{LR: cfg.LR})
-	for s := 0; s < cfg.PreSteps; s++ {
-		batch := ds.Batch(rng, cfg.Batch)
-		m.LossAndGrad(master, ds, batch, grads)
-		optim.ClipGlobalNorm(grads, cfg.ClipNorm)
-		pre.Step(master, grads)
+// Config returns the effective (defaulted) configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// StepCount returns the number of completed fine-tuning steps.
+func (t *Trainer) StepCount() int { return t.step }
+
+// Done reports whether the configured number of steps has completed.
+func (t *Trainer) Done() bool { return t.step >= t.cfg.Steps }
+
+// MasterParams returns the live CPU master parameter vector (read-only to
+// callers; the recovery tests compare it bit-wise across runs).
+func (t *Trainer) MasterParams() []float32 { return t.master }
+
+// ComputeParams returns the live accelerator compute copy.
+func (t *Trainer) ComputeParams() []float32 { return t.compute }
+
+// Moments returns the live ADAM moment vectors.
+func (t *Trainer) Moments() (m, v []float32) { return t.ad.Moments() }
+
+// Samples returns the loss-trajectory samples recorded so far.
+func (t *Trainer) Samples() []StepSample { return t.samples }
+
+// recordSums refreshes every per-tensor checksum after legitimate
+// mutations.
+func (t *Trainer) recordSums() {
+	if !t.cfg.SDCChecks {
+		return
+	}
+	am, av := t.ad.Moments()
+	t.masterSum = checkpoint.Checksum(t.master)
+	t.computeSum = checkpoint.Checksum(t.compute)
+	t.adamMSum = checkpoint.Checksum(am)
+	t.adamVSum = checkpoint.Checksum(av)
+	t.sumsValid = true
+}
+
+// verifySums compares every resident tensor against its recorded checksum
+// — the guard that catches out-of-band corruption (a poisoned line that
+// slipped past the link CRC, a bit flip in host memory) before the step
+// consumes it.
+func (t *Trainer) verifySums() error {
+	if !t.cfg.SDCChecks || !t.sumsValid {
+		return nil
+	}
+	if checkpoint.Checksum(t.master) != t.masterSum {
+		return &CorruptionError{Tensor: "master", Index: -1}
+	}
+	if checkpoint.Checksum(t.compute) != t.computeSum {
+		return &CorruptionError{Tensor: "compute", Index: -1}
+	}
+	am, av := t.ad.Moments()
+	if checkpoint.Checksum(am) != t.adamMSum {
+		return &CorruptionError{Tensor: "adam.m", Index: -1}
+	}
+	if checkpoint.Checksum(av) != t.adamVSum {
+		return &CorruptionError{Tensor: "adam.v", Index: -1}
+	}
+	return nil
+}
+
+// VerifyIntegrity runs the full SDC guard sweep regardless of SDCChecks:
+// checksum validation (when recorded) plus a non-finite scan of master
+// parameters and both moment vectors. The session calls it after every
+// restore before trusting the resumed state.
+func (t *Trainer) VerifyIntegrity() error {
+	if err := t.verifySums(); err != nil {
+		return err
+	}
+	if i := optim.FirstNonFinite(t.master); i >= 0 {
+		return &CorruptionError{Tensor: "master", Index: i, NonFinite: true}
+	}
+	am, av := t.ad.Moments()
+	if i := optim.FirstNonFinite(am); i >= 0 {
+		return &CorruptionError{Tensor: "adam.m", Index: i, NonFinite: true}
+	}
+	if i := optim.FirstNonFinite(av); i >= 0 {
+		return &CorruptionError{Tensor: "adam.v", Index: i, NonFinite: true}
+	}
+	return nil
+}
+
+// Step executes one fine-tuning step. On a silent-data-corruption
+// detection it returns a *CorruptionError and guarantees the error was
+// raised before the corrupt data could be committed past the failing
+// phase; the owner rolls back to the last checkpoint and replays.
+func (t *Trainer) Step() error {
+	if t.Done() {
+		return fmt.Errorf("realtrain: step %d past configured %d steps", t.step, t.cfg.Steps)
+	}
+	// Guard: the state this step consumes must match what the previous
+	// step recorded.
+	if err := t.verifySums(); err != nil {
+		return err
 	}
 
-	// Fine-tuning with the offload dataflow.
-	copy(compute, master)
-	ad := optim.NewAdam(n, optim.AdamConfig{LR: cfg.FineLR})
-	ctrl := dba.NewController(cfg.ActAfterSteps, cfg.DirtyBytes)
-
-	res := Result{Config: cfg, ActivatedAt: -1}
-	prevMaster := make([]float32, n)
-	prevGrads := make([]float32, n)
-	copy(prevMaster, master)
-
-	fp16View := make([]float32, n)
-	for s := 0; s < cfg.Steps; s++ {
-		// Forward/backward on the ACCELERATOR copy (possibly stale in
-		// its high bytes when DBA is on). Under mixed precision the GPU
-		// first rounds its copy through binary16.
-		fwdParams := compute
-		if cfg.FP16Compute {
-			for i := range compute {
-				fp16View[i] = tensor.RoundTripFP16(compute[i])
-			}
-			fwdParams = fp16View
+	s := t.step
+	// Forward/backward on the ACCELERATOR copy (possibly stale in its
+	// high bytes when DBA is on). Under mixed precision the GPU first
+	// rounds its copy through binary16.
+	fwdParams := t.compute
+	if t.cfg.FP16Compute {
+		for i := range t.compute {
+			t.fp16View[i] = tensor.RoundTripFP16(t.compute[i])
 		}
-		batch := ds.Batch(rng, cfg.Batch)
-		loss := m.LossAndGrad(fwdParams, ds, batch, grads)
-		// Gradients cross GPU->CPU in full FP32 (no DBA for grads).
-		optim.ClipGlobalNorm(grads, cfg.ClipNorm)
-		ad.Step(master, grads)
-
-		active := false
-		if cfg.DBA {
-			active = ctrl.CheckActivation(s)
-		}
-		// Parameter transfer CPU->GPU.
-		if active {
-			mergeDirtyBytes(compute, master, cfg.DirtyBytes)
-		} else {
-			copy(compute, master)
-		}
-
-		if s%cfg.SampleEvery == 0 || s == cfg.Steps-1 {
-			sample := StepSample{Step: s, Loss: loss, DBAActive: active}
-			for i := 0; i < n; i++ {
-				sample.ParamDist.Observe(prevMaster[i], master[i])
-				sample.GradDist.Observe(prevGrads[i], grads[i])
-			}
-			res.Samples = append(res.Samples, sample)
-		}
-		copy(prevMaster, master)
-		copy(prevGrads, grads)
+		fwdParams = t.fp16View
 	}
-	if cfg.DBA {
-		res.ActivatedAt = ctrl.ActivatedAt()
+	batch := t.ds.Batch(t.rng, t.cfg.Batch)
+	loss := t.model.LossAndGrad(fwdParams, t.ds, batch, t.grads)
+	// Gradients cross GPU->CPU in full FP32 (no DBA for grads).
+	optim.ClipGlobalNorm(t.grads, t.cfg.ClipNorm)
+	if err := t.ad.Step(t.master, t.grads); err != nil {
+		return err
+	}
+	// Guard: a NaN produced by ADAM on corrupted bytes must trigger
+	// rollback, not poison the master copy for the rest of the run.
+	if t.cfg.SDCChecks {
+		if i := optim.FirstNonFinite(t.master); i >= 0 {
+			return &CorruptionError{Tensor: "master", Index: i, NonFinite: true}
+		}
 	}
 
-	res.FinalLoss = m.MeanLoss(compute, ds)
-	res.FinalAcc = m.Accuracy(compute, ds)
+	active := false
+	if t.cfg.DBA {
+		active = t.ctrl.CheckActivation(s)
+	}
+	// Parameter transfer CPU->GPU.
+	if active {
+		mergeDirtyBytes(t.compute, t.master, t.cfg.DirtyBytes)
+	} else {
+		copy(t.compute, t.master)
+	}
+	// Guard: validate the merge result against the master copy it was
+	// built from — the low dirty bytes must match the master bit-exactly
+	// (a corrupt merge is exactly the failure TECO's DBA design cannot
+	// tolerate silently).
+	if t.cfg.SDCChecks && active {
+		if err := verifyMerge(t.compute, t.master, t.cfg.DirtyBytes); err != nil {
+			return err
+		}
+	}
+
+	if s%t.cfg.SampleEvery == 0 || s == t.cfg.Steps-1 {
+		sample := StepSample{Step: s, Loss: loss, DBAActive: active}
+		for i := range t.master {
+			sample.ParamDist.Observe(t.prevMaster[i], t.master[i])
+			sample.GradDist.Observe(t.prevGrads[i], t.grads[i])
+		}
+		t.samples = append(t.samples, sample)
+	}
+	copy(t.prevMaster, t.master)
+	copy(t.prevGrads, t.grads)
+	t.step++
+	t.recordSums()
+	return nil
+}
+
+// verifyMerge checks the Disaggregator post-condition: every word of the
+// merged compute copy carries the master's low n bytes.
+func verifyMerge(compute, master []float32, n int) error {
+	mask := uint32(1)<<(uint(n)*8) - 1
+	if n >= 4 {
+		mask = ^uint32(0)
+	}
+	for i := range compute {
+		if (math.Float32bits(compute[i]) ^ math.Float32bits(master[i]))&mask != 0 {
+			return &CorruptionError{Tensor: "compute", Index: i}
+		}
+	}
+	return nil
+}
+
+// Result finalizes the run: test metrics of the accelerator params, the
+// master-copy reference accuracy, and the accumulated DBA staleness.
+func (t *Trainer) Result() Result {
+	res := Result{Config: t.cfg, ActivatedAt: -1, Samples: t.samples}
+	if t.cfg.DBA {
+		res.ActivatedAt = t.ctrl.ActivatedAt()
+	}
+	res.FinalLoss = t.model.MeanLoss(t.compute, t.ds)
+	res.FinalAcc = t.model.Accuracy(t.compute, t.ds)
 	res.Perplexity = math.Exp(res.FinalLoss)
-	res.MasterAcc = m.Accuracy(master, ds)
-	for i := 0; i < n; i++ {
-		if math.Float32bits(master[i])>>16 != math.Float32bits(compute[i])>>16 {
+	res.MasterAcc = t.model.Accuracy(t.master, t.ds)
+	for i := range t.master {
+		if math.Float32bits(t.master[i])>>16 != math.Float32bits(t.compute[i])>>16 {
 			res.DivergedWords++
 		}
 	}
 	return res
+}
+
+// Snapshot captures the trainer's complete resumable state.
+func (t *Trainer) Snapshot() *checkpoint.Snapshot {
+	am, av := t.ad.Moments()
+	s := &checkpoint.Snapshot{
+		ConfigTag:   t.cfg.configTag(),
+		Seed:        t.cfg.Seed,
+		Step:        int64(t.step),
+		AdamStep:    int64(t.ad.StepCount()),
+		ActivatedAt: int64(t.ctrl.ActivatedAt()),
+		RNGDraws:    t.src.Draws(),
+		Params:      append([]float32(nil), t.master...),
+		Compute:     append([]float32(nil), t.compute...),
+		AdamM:       append([]float32(nil), am...),
+		AdamV:       append([]float32(nil), av...),
+		PrevParams:  append([]float32(nil), t.prevMaster...),
+		PrevGrads:   append([]float32(nil), t.prevGrads...),
+	}
+	for _, sm := range t.samples {
+		s.Samples = append(s.Samples, checkpoint.Sample{
+			Step: int64(sm.Step), Loss: sm.Loss, DBAActive: sm.DBAActive,
+			ParamDist: sm.ParamDist, GradDist: sm.GradDist,
+		})
+	}
+	return s
+}
+
+// NewTrainerFromSnapshot rebuilds a trainer from a snapshot without
+// re-running pre-training: the dataset and model skeleton are regenerated
+// from the seed, every tensor is copied from the snapshot, and the batch
+// RNG is fast-forwarded to the recorded draw position — so the resumed run
+// is bit-identical to the uninterrupted one from this step onward.
+func NewTrainerFromSnapshot(cfg Config, snap *checkpoint.Snapshot) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if snap.ConfigTag != cfg.configTag() {
+		return nil, fmt.Errorf("realtrain: snapshot config tag %x does not match run config %x", snap.ConfigTag, cfg.configTag())
+	}
+	if snap.Seed != cfg.Seed {
+		return nil, fmt.Errorf("realtrain: snapshot seed %d does not match config seed %d", snap.Seed, cfg.Seed)
+	}
+	if snap.Step < 0 || snap.Step > int64(cfg.Steps) {
+		return nil, fmt.Errorf("realtrain: snapshot step %d outside run of %d steps", snap.Step, cfg.Steps)
+	}
+	t, err := newTrainerShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(t.master)
+	for name, v := range map[string][]float32{
+		"params": snap.Params, "compute": snap.Compute,
+		"adam.m": snap.AdamM, "adam.v": snap.AdamV,
+		"prev.params": snap.PrevParams, "prev.grads": snap.PrevGrads,
+	} {
+		if len(v) != n {
+			return nil, fmt.Errorf("realtrain: snapshot tensor %q has %d values, model has %d", name, len(v), n)
+		}
+	}
+	copy(t.master, snap.Params)
+	copy(t.compute, snap.Compute)
+	copy(t.prevMaster, snap.PrevParams)
+	copy(t.prevGrads, snap.PrevGrads)
+	if err := t.ad.Restore(snap.AdamM, snap.AdamV, int(snap.AdamStep)); err != nil {
+		return nil, err
+	}
+	t.ctrl.Restore(int(snap.ActivatedAt))
+	t.src.FastForward(snap.RNGDraws)
+	t.step = int(snap.Step)
+	for _, sm := range snap.Samples {
+		t.samples = append(t.samples, StepSample{
+			Step: int(sm.Step), Loss: sm.Loss, DBAActive: sm.DBAActive,
+			ParamDist: sm.ParamDist, GradDist: sm.GradDist,
+		})
+	}
+	t.recordSums()
+	return t, nil
+}
+
+// CorruptWord flips bits of one word of a resident tensor WITHOUT updating
+// the recorded checksums — the silent-data-corruption injection hook the
+// crash harness and the recovery sweep use. tensorName selects "master",
+// "compute", "adam.m" or "adam.v".
+func (t *Trainer) CorruptWord(tensorName string, index int, bitMask uint32) error {
+	var buf []float32
+	am, av := t.ad.Moments()
+	switch tensorName {
+	case "master":
+		buf = t.master
+	case "compute":
+		buf = t.compute
+	case "adam.m":
+		buf = am
+	case "adam.v":
+		buf = av
+	default:
+		return fmt.Errorf("realtrain: unknown tensor %q", tensorName)
+	}
+	if index < 0 || index >= len(buf) {
+		return fmt.Errorf("realtrain: corrupt index %d outside %d words", index, len(buf))
+	}
+	buf[index] = math.Float32frombits(math.Float32bits(buf[index]) ^ bitMask)
+	return nil
+}
+
+// Run executes the fine-tuning experiment end to end; it is the
+// non-checkpointed path every accuracy experiment uses, bit-identical to
+// driving a Trainer manually.
+func Run(cfg Config) Result {
+	t, err := NewTrainer(cfg)
+	if err != nil {
+		panic(err) // static configs only; checkpointed runs use NewTrainer
+	}
+	for !t.Done() {
+		if err := t.Step(); err != nil {
+			panic(err)
+		}
+	}
+	return t.Result()
 }
 
 // mergeDirtyBytes applies the Disaggregator semantics word-by-word: the
