@@ -6,14 +6,15 @@ GO ?= go
 
 all: build vet test
 
-# Full verification gate: vet, race-enabled tests (-short skips the long
-# numeric-training runs, which are single-threaded and covered by `test`),
+# Full verification gate: vet, race-enabled tests over the whole tree (the
+# training hot loops and the sweep runner are concurrent now, so the race
+# detector must see the long numeric runs too, not just -short),
 # short native fuzz runs over the CXL packet decoder and the checkpoint
 # snapshot decoder, and — when the tools are installed — staticcheck and
 # govulncheck (CI always runs them; locally they are skipped if absent).
 check:
 	$(GO) vet ./...
-	$(GO) test -race -short -timeout 20m ./...
+	$(GO) test -race -timeout 40m ./...
 	$(GO) test -fuzz='FuzzDecode$$' -fuzztime=10s ./internal/cxl
 	$(GO) test -fuzz='FuzzDecodeFramed$$' -fuzztime=10s ./internal/cxl
 	$(GO) test -fuzz='FuzzDecodeSnapshot$$' -fuzztime=10s ./internal/checkpoint
@@ -34,8 +35,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Micro-benchmarks for everything, then the parallel-subsystem report:
+# serial-vs-parallel hot paths and the memoized/pooled experiment-suite
+# wall clock, written to BENCH_parallel.json.
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchpar -out BENCH_parallel.json
 
 # Regenerate every paper table/figure (plus the extension experiments) as
 # markdown on stdout.

@@ -1,0 +1,180 @@
+// Command benchpar measures the parallel-execution subsystem and writes the
+// results as JSON (default BENCH_parallel.json):
+//
+//   - intra-step hot paths (ADAM update, dirty-byte merge, value-changed-byte
+//     scan) benchmarked serial vs parallel via testing.Benchmark, and
+//   - the accuracy-experiment suite (the realtrain-backed tables fig2,
+//     table5, fig10, fig13, time-to-loss) timed twice: serial with the
+//     shared-run memoization disabled, then on the worker pool with
+//     memoization on — the configuration `tecosim all` actually uses.
+//
+// Every measured configuration produces bit-identical tables (the
+// determinism harnesses assert this); only wall-clock differs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"teco/internal/dba"
+	"teco/internal/experiments"
+	"teco/internal/optim"
+)
+
+const hotN = 1 << 20 // elements per hot-path benchmark tensor
+
+type hotPath struct {
+	Name            string  `json:"name"`
+	Elements        int     `json:"elements"`
+	SerialNsPerOp   int64   `json:"serial_ns_per_op"`
+	ParallelNsPerOp int64   `json:"parallel_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type suiteResult struct {
+	IDs                     []string `json:"ids"`
+	SerialNoMemoSeconds     float64  `json:"serial_no_memo_seconds"`
+	ParallelMemoizedSeconds float64  `json:"parallel_memoized_seconds"`
+	Speedup                 float64  `json:"speedup"`
+}
+
+type report struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Seed       int64        `json:"seed"`
+	HotPaths   []hotPath    `json:"hot_paths"`
+	Suite      *suiteResult `json:"suite,omitempty"`
+}
+
+func randWords(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(rng.Uint32())
+	}
+	return out
+}
+
+func bench(fn func()) int64 {
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	}).NsPerOp()
+}
+
+func hot(name string, workers int, run func(workers int) func()) hotPath {
+	ser := bench(run(1))
+	par := bench(run(workers))
+	return hotPath{
+		Name: name, Elements: hotN,
+		SerialNsPerOp: ser, ParallelNsPerOp: par,
+		Speedup: float64(ser) / float64(par),
+	}
+}
+
+func hotPaths(workers int) []hotPath {
+	rng := rand.New(rand.NewSource(1))
+	params := make([]float32, hotN)
+	grads := make([]float32, hotN)
+	for i := range params {
+		params[i] = rng.Float32()
+		grads[i] = rng.Float32() * 0.01
+	}
+	out := []hotPath{
+		hot("adam_step", workers, func(w int) func() {
+			ad := optim.MustAdam(hotN, optim.AdamConfig{Workers: w})
+			return func() {
+				if err := ad.Step(params, grads); err != nil {
+					panic(err)
+				}
+			}
+		}),
+		hot("dba_merge_words", workers, func(w int) func() {
+			compute := randWords(hotN, 2)
+			master := randWords(hotN, 3)
+			return func() { dba.MergeWords(compute, master, 2, w) }
+		}),
+		hot("dba_scan_changed", workers, func(w int) func() {
+			old := randWords(hotN, 4)
+			new := randWords(hotN, 5)
+			return func() { dba.ScanChanged(old, new, w) }
+		}),
+	}
+	return out
+}
+
+func runSuite(ids []string, opt experiments.Options) (time.Duration, error) {
+	t0 := time.Now()
+	for _, id := range ids {
+		if _, err := experiments.ByIDWith(id, opt); err != nil {
+			return 0, fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return time.Since(t0), nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	workers := flag.Int("workers", 4, "worker count for the parallel measurements")
+	skipSuite := flag.Bool("skip-suite", false, "only benchmark the hot paths (fast)")
+	flag.Parse()
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: *workers, Seed: *seed}
+
+	fmt.Fprintf(os.Stderr, "benchmarking hot paths (serial vs %d workers)...\n", *workers)
+	rep.HotPaths = hotPaths(*workers)
+	for _, h := range rep.HotPaths {
+		fmt.Fprintf(os.Stderr, "  %-18s serial %8.2fms  parallel %8.2fms  %.2fx\n",
+			h.Name, float64(h.SerialNsPerOp)/1e6, float64(h.ParallelNsPerOp)/1e6, h.Speedup)
+	}
+
+	if !*skipSuite {
+		ids := []string{"fig2", "table5", "fig10", "fig13", "time-to-loss"}
+		fmt.Fprintf(os.Stderr, "running accuracy suite %v serially, memoization off...\n", ids)
+		serial, err := runSuite(ids, experiments.Options{Seed: *seed, Workers: 1, NoMemo: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  %.1fs\nrunning the same suite on %d workers with memoization...\n",
+			serial.Seconds(), *workers)
+		par, err := runSuite(ids, experiments.Options{Seed: *seed, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  %.1fs  (%.2fx)\n", par.Seconds(), serial.Seconds()/par.Seconds())
+		rep.Suite = &suiteResult{
+			IDs:                     ids,
+			SerialNoMemoSeconds:     serial.Seconds(),
+			ParallelMemoizedSeconds: par.Seconds(),
+			Speedup:                 serial.Seconds() / par.Seconds(),
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

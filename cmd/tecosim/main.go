@@ -27,8 +27,10 @@ func main() {
 	ckptInterval := flag.Int("ckpt-interval", 0, "checkpoint interval in steps for the recovery sweep (0: default grid)")
 	ckptDir := flag.String("ckpt-dir", "", "root directory for recovery-sweep checkpoints (default: system temp)")
 	crashAt := flag.Int("crash-at", 0, "kill and restore each recovery-sweep run at this step (0: no crash)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS, 1: serial); tables are identical at every setting")
+	noMemo := flag.Bool("no-memo", false, "disable shared-run memoization across experiments (slower, identical output)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-ber R] [-retry-budget N] [-degrade] [-ckpt-interval N] [-ckpt-dir D] [-crash-at N] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-workers N] [-no-memo] [-ber R] [-retry-budget N] [-degrade] [-ckpt-interval N] [-ckpt-dir D] [-crash-at N] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 		flag.PrintDefaults()
 	}
@@ -52,6 +54,8 @@ func main() {
 		CkptInterval: *ckptInterval,
 		CkptDir:      *ckptDir,
 		CrashAt:      *crashAt,
+		Workers:      *workers,
+		NoMemo:       *noMemo,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"teco/internal/checkpoint"
+	"teco/internal/realtrain"
+)
+
+// TestCrashRunParallelWorkersBitIdentical runs the kill/restore harness
+// with the trainer's hot loops on 8 workers and compares the survivor's
+// final state against a serial uninterrupted reference — the crash-recovery
+// corner of the parallel determinism contract. The crash lands mid-interval
+// so the restored run replays steps under the parallel paths too.
+func TestCrashRunParallelWorkersBitIdentical(t *testing.T) {
+	cfg := recoverCfg(t.TempDir())
+	ref := referenceRun(t, cfg) // serial: cfg.Train.Workers is zero
+
+	par := cfg
+	par.Train.Workers = 8
+	if _, _, err := CrashRun(par, 23); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.NewStore(par.Dir, par.KeepLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != int64(par.Train.Steps) {
+		t.Fatalf("final checkpoint at step %d", snap.Step)
+	}
+	// The snapshot was written by a workers=8 run; restore it serially —
+	// the config tag excludes the scheduling knob, so this must work.
+	got, err := realtrain.NewTrainerFromSnapshot(withGuards(cfg.Train), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, ref, got)
+}

@@ -1,0 +1,134 @@
+package dba
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomWords(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(rng.Uint32())
+	}
+	return out
+}
+
+// TestMergeWordsParallelBitIdentical merges the same tensors serially and in
+// parallel for every dirty-byte width and requires bit-equal results.
+func TestMergeWordsParallelBitIdentical(t *testing.T) {
+	const n = 3*16384 + 291
+	master := randomWords(n, 2)
+	for dirty := 1; dirty <= WordSize; dirty++ {
+		for _, workers := range []int{2, 8} {
+			ser := randomWords(n, 1)
+			par := append([]float32(nil), ser...)
+			MergeWords(ser, master, dirty, 1)
+			MergeWords(par, master, dirty, workers)
+			for i := range ser {
+				if math.Float32bits(ser[i]) != math.Float32bits(par[i]) {
+					t.Fatalf("dirty=%d workers=%d: word %d differs", dirty, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeWordsSemantics(t *testing.T) {
+	compute := []float32{math.Float32frombits(0xAABBCCDD)}
+	master := []float32{math.Float32frombits(0x11223344)}
+	MergeWords(compute, master, 2, 1)
+	if got := math.Float32bits(compute[0]); got != 0xAABB3344 {
+		t.Fatalf("merge = %08x", got)
+	}
+	MergeWords(compute, master, 4, 1)
+	if math.Float32bits(compute[0]) != 0x11223344 {
+		t.Fatal("n=4 must copy fully")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dirty bytes outside 1..4")
+		}
+	}()
+	MergeWords(compute, master, 5, 1)
+}
+
+// TestFirstMergeMismatchDeterministic plants violations in several chunks
+// and requires the lowest index at every worker count.
+func TestFirstMergeMismatchDeterministic(t *testing.T) {
+	const n = 4 * 16384
+	master := randomWords(n, 3)
+	compute := append([]float32(nil), master...)
+	MergeWords(compute, master, 2, 1)
+	for _, workers := range []int{1, 2, 8} {
+		if got := FirstMergeMismatch(compute, master, 2, workers); got != -1 {
+			t.Fatalf("workers=%d: clean merge reported %d", workers, got)
+		}
+	}
+	// Corrupt a low byte at two positions in different chunks.
+	flip := func(i int) {
+		compute[i] = math.Float32frombits(math.Float32bits(compute[i]) ^ 0x01)
+	}
+	flip(3 * 16384)
+	flip(16384 + 7)
+	for _, workers := range []int{1, 2, 8} {
+		if got := FirstMergeMismatch(compute, master, 2, workers); got != 16384+7 {
+			t.Fatalf("workers=%d: got %d, want %d", workers, got, 16384+7)
+		}
+	}
+}
+
+// TestScanChangedParallelBitIdentical compares the byte-change distribution
+// of a serial and parallel scan — counts are integers, so they must match
+// exactly.
+func TestScanChangedParallelBitIdentical(t *testing.T) {
+	const n = 5*16384 + 17
+	old := randomWords(n, 4)
+	new := append([]float32(nil), old...)
+	rng := rand.New(rand.NewSource(5))
+	for i := range new {
+		// A mix of untouched, low-byte, and high-byte changes.
+		switch rng.Intn(3) {
+		case 1:
+			new[i] = math.Float32frombits(math.Float32bits(new[i]) ^ uint32(1+rng.Intn(0xFFFF)))
+		case 2:
+			new[i] = math.Float32frombits(rng.Uint32())
+		}
+	}
+	want := ScanChanged(old, new, 1)
+	for _, workers := range []int{2, 8} {
+		got := ScanChanged(old, new, workers)
+		if got != want {
+			t.Fatalf("workers=%d: distribution %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func benchmarkScanChanged(b *testing.B, workers int) {
+	const n = 1 << 20
+	old := randomWords(n, 8)
+	new := randomWords(n, 9)
+	b.SetBytes(int64(n) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanChanged(old, new, workers)
+	}
+}
+
+func BenchmarkScanChangedSerial(b *testing.B)   { benchmarkScanChanged(b, 1) }
+func BenchmarkScanChangedParallel(b *testing.B) { benchmarkScanChanged(b, -1) }
+
+func benchmarkMergeWords(b *testing.B, workers int) {
+	const n = 1 << 20
+	master := randomWords(n, 10)
+	compute := randomWords(n, 11)
+	b.SetBytes(int64(n) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeWords(compute, master, 2, workers)
+	}
+}
+
+func BenchmarkMergeWordsSerial(b *testing.B)   { benchmarkMergeWords(b, 1) }
+func BenchmarkMergeWordsParallel(b *testing.B) { benchmarkMergeWords(b, -1) }

@@ -1,0 +1,90 @@
+// Word-granular DBA operations over flat FP32 parameter vectors — the
+// software twin of the Aggregator/Disaggregator line path that the real
+// fine-tuning proxy (internal/realtrain) runs every step. These are the
+// per-step hot loops, so each takes a workers knob and runs over chunked
+// goroutines with the serial fallback at workers <= 1; every operation is
+// element-wise or combines with exact arithmetic (integer counters,
+// min-index), so results are bit-identical at any worker count.
+
+package dba
+
+import (
+	"fmt"
+	"math"
+
+	"teco/internal/parallel"
+	"teco/internal/tensor"
+)
+
+// wordMask returns the bit mask of the low n dirty bytes of an FP32 word.
+func wordMask(n int) uint32 {
+	if n <= 0 || n > WordSize {
+		panic(fmt.Sprintf("dba: invalid dirty-byte length %d", n))
+	}
+	if n == WordSize {
+		return ^uint32(0)
+	}
+	return uint32(1)<<(uint(n)*8) - 1
+}
+
+// MergeWords applies the Disaggregator semantics word-by-word over whole
+// tensors: the low n bytes of each master value overwrite the compute
+// copy's low bytes; the high bytes keep whatever the accelerator last had.
+// compute and master must have equal length.
+func MergeWords(compute, master []float32, n, workers int) {
+	if len(compute) != len(master) {
+		panic(fmt.Sprintf("dba: merge %d words into %d", len(master), len(compute)))
+	}
+	if n == WordSize {
+		// Full words: plain copy (per chunk, still element-wise).
+		parallel.ForChunks(workers, len(compute), func(lo, hi int) {
+			copy(compute[lo:hi], master[lo:hi])
+		})
+		return
+	}
+	mask := wordMask(n)
+	parallel.ForChunks(workers, len(compute), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cb := math.Float32bits(compute[i])
+			mb := math.Float32bits(master[i])
+			compute[i] = math.Float32frombits((cb &^ mask) | (mb & mask))
+		}
+	})
+}
+
+// FirstMergeMismatch checks the Disaggregator post-condition — every word
+// of the merged compute copy carries the master's low n bytes — and
+// returns the first (lowest) offending index, or -1. The SDC guard in the
+// trainer turns a hit into a rollback.
+func FirstMergeMismatch(compute, master []float32, n, workers int) int {
+	if len(compute) != len(master) {
+		panic(fmt.Sprintf("dba: verify %d words against %d", len(master), len(compute)))
+	}
+	mask := wordMask(n)
+	return parallel.FirstIndex(workers, len(compute), func(i int) bool {
+		return (math.Float32bits(compute[i])^math.Float32bits(master[i]))&mask != 0
+	})
+}
+
+// ScanChanged classifies every word transition old[i] -> new[i] into the
+// Fig 2 byte-change classes — the value-changed-byte scan that motivates
+// dirty-byte aggregation. Per-chunk distributions are combined in chunk
+// order with integer adds, so the counts are bit-identical to a serial
+// pass at any worker count.
+func ScanChanged(old, new []float32, workers int) tensor.Distribution {
+	if len(old) != len(new) {
+		panic(fmt.Sprintf("dba: scan over %d vs %d words", len(old), len(new)))
+	}
+	parts := parallel.MapChunks(workers, len(old), func(lo, hi int) tensor.Distribution {
+		var d tensor.Distribution
+		for i := lo; i < hi; i++ {
+			d.Observe(old[i], new[i])
+		}
+		return d
+	})
+	var total tensor.Distribution
+	for _, p := range parts {
+		total.Add(p)
+	}
+	return total
+}

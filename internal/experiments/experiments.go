@@ -22,21 +22,34 @@ const RealTrainSteps = 800
 // evalBatches are the batch sizes of Fig 11 / Table IV.
 var evalBatches = []int{4, 8, 16}
 
+// Every generator has two forms: the original seed-only signature (kept for
+// callers and tests) and a With variant taking the full Options, which is
+// where the sweep pool and the run cache are wired in. Grid points always
+// get fresh engines — the timing engines carry internal state — and rows
+// land in grid order regardless of completion order, so a table is
+// byte-identical at every worker count (asserted by parallel_test.go).
+
 // TableI reproduces Table I: percentage of training time spent in
 // communication exposed to the critical path (ZeRO-Offload,
 // Bert-large-cased).
-func TableI() *Table {
+func TableI() *Table { return TableIWith(Options{}) }
+
+// TableIWith is TableI on the option's sweep pool.
+func TableIWith(opt Options) *Table {
 	t := &Table{
 		ID:     "table1",
 		Title:  "Exposed communication share of training time (ZeRO-Offload, Bert-large-cased)",
 		Header: []string{"Batch size", "Paper", "Measured"},
 	}
 	paper := map[int]string{4: "42.24%", 8: "37.87%", 16: "28.65%", 20: "25.95%"}
-	e := zero.NewEngine()
 	m := modelzoo.BertLargeCased()
-	for _, b := range []int{4, 8, 16, 20} {
-		r := e.Step(m, b)
-		t.AddRow(fmt.Sprint(b), paper[b], pct(r.CommFraction()))
+	batches := []int{4, 8, 16, 20}
+	for _, row := range grid(opt, len(batches), func(i int) []string {
+		b := batches[i]
+		r := zero.NewEngine().Step(m, b)
+		return []string{fmt.Sprint(b), paper[b], pct(r.CommFraction())}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("gradient transfers partially exposed during backward; parameter transfers largely exposed after ADAM")
 	return t
@@ -45,8 +58,11 @@ func TableI() *Table {
 // Fig2 reproduces Figure 2: the distribution of value-changed bytes in
 // parameters (a) and gradients (b) across two consecutive training steps,
 // sampled over a real fine-tuning run.
-func Fig2(seed int64) (params, grads *Table) {
-	r := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed})
+func Fig2(seed int64) (params, grads *Table) { return Fig2With(Options{Seed: seed}) }
+
+// Fig2With is Fig2 against the shared run cache.
+func Fig2With(opt Options) (params, grads *Table) {
+	r := runTrain(opt, realtrain.Config{Steps: RealTrainSteps, Seed: opt.Seed})
 	params = &Table{
 		ID:     "fig2a",
 		Title:  "Value-changed bytes in parameters across consecutive steps",
@@ -83,26 +99,37 @@ func Fig2(seed int64) (params, grads *Table) {
 // AblationInvalidation reproduces the §IV-A2 measurement: stock
 // invalidation-based CXL versus the update extension (paper: on-demand
 // transfers cost +56.6% training time on average, up to 99.7% on T5).
-func AblationInvalidation() *Table {
+func AblationInvalidation() *Table { return AblationInvalidationWith(Options{}) }
+
+// AblationInvalidationWith is AblationInvalidation on the sweep pool.
+func AblationInvalidationWith(opt Options) *Table {
 	t := &Table{
 		ID:     "ablation-inval",
 		Title:  "Update protocol vs stock invalidation MESI (batch 4)",
 		Header: []string{"Model", "Update total", "Invalidation total", "Penalty"},
 	}
-	upd := core.MustEngine(core.Config{})
-	inv := core.MustEngine(core.Config{Invalidation: true})
-	var sum float64
-	var n int
-	for _, m := range modelzoo.EvaluationModels() {
-		b := batchFor(m, 4)
-		ru := upd.Step(m, b)
-		ri := inv.Step(m, b)
-		pen := float64(ri.Total())/float64(ru.Total()) - 1
-		sum += pen
-		n++
-		t.AddRow(m.Name, ms(ru.Total().Milliseconds()), ms(ri.Total().Milliseconds()), pct(pen))
+	models := modelzoo.EvaluationModels()
+	type cell struct {
+		row []string
+		pen float64
 	}
-	t.Note("average penalty %.1f%% (paper: 56.6%% average, up to 99.7%%)", 100*sum/float64(n))
+	cells := grid(opt, len(models), func(i int) cell {
+		m := models[i]
+		b := batchFor(m, 4)
+		ru := core.MustEngine(core.Config{}).Step(m, b)
+		ri := core.MustEngine(core.Config{Invalidation: true}).Step(m, b)
+		pen := float64(ri.Total())/float64(ru.Total()) - 1
+		return cell{
+			row: []string{m.Name, ms(ru.Total().Milliseconds()), ms(ri.Total().Milliseconds()), pct(pen)},
+			pen: pen,
+		}
+	})
+	var sum float64
+	for _, c := range cells {
+		sum += c.pen
+		t.AddRow(c.row...)
+	}
+	t.Note("average penalty %.1f%% (paper: 56.6%% average, up to 99.7%%)", 100*sum/float64(len(cells)))
 	return t
 }
 
@@ -115,7 +142,11 @@ func batchFor(m modelzoo.Model, b int) int {
 
 // Fig11TableIV reproduces Figure 11 and Table IV: training-time speedup of
 // TECO-CXL and TECO-Reduction over ZeRO-Offload per model and batch size.
-func Fig11TableIV() *Table {
+func Fig11TableIV() *Table { return Fig11TableIVWith(Options{}) }
+
+// Fig11TableIVWith is Fig11TableIV on the sweep pool: the model x batch
+// grid runs concurrently, one fresh engine trio per point.
+func Fig11TableIVWith(opt Options) *Table {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Speedup over ZeRO-Offload (Fig 11 / Table IV)",
@@ -127,33 +158,40 @@ func Fig11TableIV() *Table {
 		"Bert-large-cased":  {4: "1.6x", 8: "1.62x", 16: "1.41x"},
 		"T5-large":          {4: "1.73x", 8: "1.58x", 16: "OOM"},
 	}
-	base := zero.NewEngine()
-	cxlE := core.MustEngine(core.Config{})
-	redE := core.MustEngine(core.Config{DBA: true})
+	type point struct {
+		m modelzoo.Model
+		b int
+	}
+	var points []point
 	for _, m := range modelzoo.EvaluationModels() {
 		batches := evalBatches
 		if m.FullGraphOnly {
 			batches = []int{1}
 		}
 		for _, b := range batches {
-			pv := "-"
-			if pm, ok := paper[m.Name]; ok {
-				if v, ok := pm[b]; ok {
-					pv = v
-				}
-			}
-			if !m.FullGraphOnly && !m.FitsOnV100(b) {
-				// The memory model reproduces the paper's T5 batch-16
-				// out-of-memory on the 32GB V100.
-				t.AddRow(m.Name, fmt.Sprint(b), "OOM", "OOM", pv)
-				continue
-			}
-			rb := base.Step(m, b)
-			t.AddRow(m.Name, fmt.Sprint(b),
-				f2(cxlE.Step(m, b).Speedup(rb))+"x",
-				f2(redE.Step(m, b).Speedup(rb))+"x",
-				pv)
+			points = append(points, point{m, b})
 		}
+	}
+	for _, row := range grid(opt, len(points), func(i int) []string {
+		m, b := points[i].m, points[i].b
+		pv := "-"
+		if pm, ok := paper[m.Name]; ok {
+			if v, ok := pm[b]; ok {
+				pv = v
+			}
+		}
+		if !m.FullGraphOnly && !m.FitsOnV100(b) {
+			// The memory model reproduces the paper's T5 batch-16
+			// out-of-memory on the 32GB V100.
+			return []string{m.Name, fmt.Sprint(b), "OOM", "OOM", pv}
+		}
+		rb := zero.NewEngine().Step(m, b)
+		return []string{m.Name, fmt.Sprint(b),
+			f2(core.MustEngine(core.Config{}).Step(m, b).Speedup(rb)) + "x",
+			f2(core.MustEngine(core.Config{DBA: true}).Step(m, b).Speedup(rb)) + "x",
+			pv}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("GCNII runs full-graph (batch column = 1); T5-large batch 16 OOMs on the paper's 32GB V100")
 	return t
@@ -162,36 +200,56 @@ func Fig11TableIV() *Table {
 // TableV reproduces Table V: final model quality with and without
 // TECO-Reduction, on the real fine-tuning proxy (accuracy and a
 // perplexity-style metric).
-func TableV(seed int64) *Table {
+func TableV(seed int64) *Table { return TableVWith(Options{Seed: seed}) }
+
+// TableVWith is TableV with every proxy pair (and the GNN run) as a
+// concurrent grid point against the shared run cache.
+func TableVWith(opt Options) *Table {
 	t := &Table{
 		ID:     "table5",
 		Title:  "Final model quality, original vs TECO-Reduction (real fine-tuning proxy)",
 		Header: []string{"Proxy run", "Metric", "Original", "TECO-Reduction"},
 	}
 	// One proxy run per evaluated model (different seeds play the role of
-	// the different fine-tuning tasks).
+	// the different fine-tuning tasks); the GNN rides as the last point.
 	names := []string{"GPT2", "Albert-xxlarge-v1", "Bert-large-cased", "T5-large"}
-	for i, name := range names {
-		s := seed + int64(i)*100
-		base := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: s})
-		red := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: s, DBA: true, ActAfterSteps: RealTrainSteps / 2})
-		t.AddRow(name, "Accuracy", pct(base.FinalAcc), pct(red.FinalAcc))
-		t.AddRow(name, "Perplexity", f2(base.Perplexity), f2(red.Perplexity))
+	for _, rows := range grid(opt, len(names)+1, func(i int) [][]string {
+		if i == len(names) {
+			// GCNII: real full-graph GNN training (paper reports 54.90
+			// original, N/A for TECO-Reduction — we run both anyway).
+			gBase := gnn.Train(gnn.TrainConfig{Epochs: 200, Seed: opt.Seed})
+			gRed := gnn.Train(gnn.TrainConfig{Epochs: 200, Seed: opt.Seed, DBA: true, ActAfterSteps: 100})
+			return [][]string{{"GCNII", "Accuracy", pct(gBase.TestAcc), pct(gRed.TestAcc)}}
+		}
+		s := opt.Seed + int64(i)*100
+		base := runTrain(opt, realtrain.Config{Steps: RealTrainSteps, Seed: s})
+		red := runTrain(opt, realtrain.Config{Steps: RealTrainSteps, Seed: s, DBA: true, ActAfterSteps: RealTrainSteps / 2})
+		return [][]string{
+			{names[i], "Accuracy", pct(base.FinalAcc), pct(red.FinalAcc)},
+			{names[i], "Perplexity", f2(base.Perplexity), f2(red.Perplexity)},
+		}
+	}) {
+		for _, row := range rows {
+			t.AddRow(row...)
+		}
 	}
-	// GCNII: real full-graph GNN training (paper reports 54.90 original,
-	// N/A for TECO-Reduction — we run both anyway).
-	gBase := gnn.Train(gnn.TrainConfig{Epochs: 200, Seed: seed})
-	gRed := gnn.Train(gnn.TrainConfig{Epochs: 200, Seed: seed, DBA: true, ActAfterSteps: 100})
-	t.AddRow("GCNII", "Accuracy", pct(gBase.TestAcc), pct(gRed.TestAcc))
 	t.Note("paper Table V reports task-specific metrics (e.g. Bert 93.13 -> 91.99 accuracy, GCNII 54.90); the proxy reproduces the property that DBA costs at most a small quality delta")
 	return t
 }
 
 // Fig10 reproduces Figure 10: training loss curves with and without
 // TECO-Reduction.
-func Fig10(seed int64) *Table {
-	base := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed})
-	red := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed, DBA: true, ActAfterSteps: RealTrainSteps / 4})
+func Fig10(seed int64) *Table { return Fig10With(Options{Seed: seed}) }
+
+// Fig10With is Fig10 with both runs as concurrent grid points against the
+// shared run cache.
+func Fig10With(opt Options) *Table {
+	cfgs := []realtrain.Config{
+		{Steps: RealTrainSteps, Seed: opt.Seed},
+		{Steps: RealTrainSteps, Seed: opt.Seed, DBA: true, ActAfterSteps: RealTrainSteps / 4},
+	}
+	runs := grid(opt, len(cfgs), func(i int) realtrain.Result { return runTrain(opt, cfgs[i]) })
+	base, red := runs[0], runs[1]
 	t := &Table{
 		ID:     "fig10",
 		Title:  "Training loss curves (original vs TECO-Reduction)",
@@ -211,7 +269,10 @@ func Fig10(seed int64) *Table {
 
 // Fig12 reproduces Figure 12: the time breakdown for T5-large across batch
 // sizes and systems.
-func Fig12() *Table {
+func Fig12() *Table { return Fig12With(Options{}) }
+
+// Fig12With is Fig12 on the sweep pool (batch x system grid).
+func Fig12With(opt Options) *Table {
 	t := &Table{
 		ID:    "fig12",
 		Title: "Time breakdown, T5-large (Fig 12)",
@@ -229,17 +290,20 @@ func Fig12() *Table {
 			return core.MustEngine(core.Config{DBA: true}).Step(m, b)
 		}},
 	}
-	for _, b := range []int{4, 8} {
-		for _, e := range engines {
-			r := e.step(m, b)
-			t.AddRow(fmt.Sprint(b), e.name,
-				ms((r.Fwd + r.Bwd).Milliseconds()),
-				ms(r.Grad.Milliseconds()),
-				ms(r.Clip.Milliseconds()),
-				ms(r.Adam.Milliseconds()),
-				ms(r.Prm.Milliseconds()),
-				ms(r.Total().Milliseconds()))
-		}
+	batches := []int{4, 8}
+	for _, row := range grid(opt, len(batches)*len(engines), func(i int) []string {
+		b := batches[i/len(engines)]
+		e := engines[i%len(engines)]
+		r := e.step(m, b)
+		return []string{fmt.Sprint(b), e.name,
+			ms((r.Fwd + r.Bwd).Milliseconds()),
+			ms(r.Grad.Milliseconds()),
+			ms(r.Clip.Milliseconds()),
+			ms(r.Adam.Milliseconds()),
+			ms(r.Prm.Milliseconds()),
+			ms(r.Total().Milliseconds())}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("paper: gradients fully hidden at batch 8; TECO-CXL cuts exposed parameter time (~76%% at batch 4); DBA hides it completely")
 	return t
@@ -247,33 +311,47 @@ func Fig12() *Table {
 
 // CommVolume reproduces §VIII-C: per-direction communication volume and
 // the exposed-communication reduction.
-func CommVolume() *Table {
+func CommVolume() *Table { return CommVolumeWith(Options{}) }
+
+// CommVolumeWith is CommVolume on the sweep pool.
+func CommVolumeWith(opt Options) *Table {
 	t := &Table{
 		ID:    "volume",
 		Title: "Communication volume and exposed-time reduction (batch 4)",
 		Header: []string{"Model", "Param bytes (ZeRO)", "Param bytes (TECO-R)",
 			"Grad bytes", "Comm-time reduction"},
 	}
-	base := zero.NewEngine()
-	red := core.MustEngine(core.Config{DBA: true})
-	var sum float64
-	var n int
 	gb := func(v int64) string { return fmt.Sprintf("%.2fGB", float64(v)/1e9) }
-	for _, m := range modelzoo.EvaluationModels() {
-		b := batchFor(m, 4)
-		rb := base.Step(m, b)
-		rr := red.Step(m, b)
-		redn := rr.CommReduction(rb)
-		sum += redn
-		n++
-		t.AddRow(m.Name, gb(rb.ParamLinkBytes), gb(rr.ParamLinkBytes), gb(rr.GradLinkBytes), pct(redn))
+	models := modelzoo.EvaluationModels()
+	type cell struct {
+		row  []string
+		redn float64
 	}
-	t.Note("average exposed-communication reduction %.1f%% (paper: 93.7%% average, up to 100%%); DBA halves parameter volume, gradients are not DBA'd", 100*sum/float64(n))
+	cells := grid(opt, len(models), func(i int) cell {
+		m := models[i]
+		b := batchFor(m, 4)
+		rb := zero.NewEngine().Step(m, b)
+		rr := core.MustEngine(core.Config{DBA: true}).Step(m, b)
+		redn := rr.CommReduction(rb)
+		return cell{
+			row:  []string{m.Name, gb(rb.ParamLinkBytes), gb(rr.ParamLinkBytes), gb(rr.GradLinkBytes), pct(redn)},
+			redn: redn,
+		}
+	})
+	var sum float64
+	for _, c := range cells {
+		sum += c.redn
+		t.AddRow(c.row...)
+	}
+	t.Note("average exposed-communication reduction %.1f%% (paper: 93.7%% average, up to 100%%); DBA halves parameter volume, gradients are not DBA'd", 100*sum/float64(len(cells)))
 	return t
 }
 
 // TableVI reproduces Table VI: TECO effectiveness across GPT-2 scales.
-func TableVI() *Table {
+func TableVI() *Table { return TableVIWith(Options{}) }
+
+// TableVIWith is TableVI on the sweep pool.
+func TableVIWith(opt Options) *Table {
 	t := &Table{
 		ID:     "table6",
 		Title:  "Impact of model size (GPT-2 scales, batch 4)",
@@ -283,15 +361,16 @@ func TableVI() *Table {
 		"GPT2": "1.55x/1.82x", "GPT2-Medium": "1.54x/1.64x",
 		"GPT2-Large": "1.67x/1.79x", "GPT2-11B": "1.29x/1.41x",
 	}
-	base := zero.NewEngine()
-	cxlE := core.MustEngine(core.Config{})
-	redE := core.MustEngine(core.Config{DBA: true})
-	for _, m := range modelzoo.SensitivityModels() {
-		rb := base.Step(m, 4)
-		t.AddRow(m.Name, "1x",
-			f2(cxlE.Step(m, 4).Speedup(rb))+"x",
-			f2(redE.Step(m, 4).Speedup(rb))+"x",
-			paper[m.Name])
+	models := modelzoo.SensitivityModels()
+	for _, row := range grid(opt, len(models), func(i int) []string {
+		m := models[i]
+		rb := zero.NewEngine().Step(m, 4)
+		return []string{m.Name, "1x",
+			f2(core.MustEngine(core.Config{}).Step(m, 4).Speedup(rb)) + "x",
+			f2(core.MustEngine(core.Config{DBA: true}).Step(m, 4).Speedup(rb)) + "x",
+			paper[m.Name]}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("the 11B configuration is compute-dominated (paper: computation is 63.4%% of total), so its speedup is the smallest")
 	return t
@@ -299,7 +378,11 @@ func TableVI() *Table {
 
 // Fig13 reproduces Figure 13: model quality and speedup versus
 // `act_aft_steps`.
-func Fig13(seed int64) *Table {
+func Fig13(seed int64) *Table { return Fig13With(Options{Seed: seed}) }
+
+// Fig13With is Fig13 with the activation-step sweep on the pool, runs
+// against the shared cache.
+func Fig13With(opt Options) *Table {
 	t := &Table{
 		ID:     "fig13",
 		Title:  "DBA activation step sweep (quality vs speedup, GPT-2 proxy)",
@@ -310,12 +393,16 @@ func Fig13(seed int64) *Table {
 	cxlStep := core.MustEngine(core.Config{}).Step(m, 4).Total()
 	dbaStep := core.MustEngine(core.Config{DBA: true}).Step(m, 4).Total()
 	total := RealTrainSteps
-	for _, act := range []int{0, total / 8, total / 4, total / 2, 3 * total / 4, total} {
-		r := realtrain.Run(realtrain.Config{Steps: total, Seed: seed, DBA: true, ActAfterSteps: act})
+	acts := []int{0, total / 8, total / 4, total / 2, 3 * total / 4, total}
+	for _, row := range grid(opt, len(acts), func(i int) []string {
+		act := acts[i]
+		r := runTrain(opt, realtrain.Config{Steps: total, Seed: opt.Seed, DBA: true, ActAfterSteps: act})
 		// Average step time: CXL-only before activation, DBA after.
 		avg := (float64(cxlStep)*float64(act) + float64(dbaStep)*float64(total-act)) / float64(total)
 		sp := float64(base.Total()) / avg
-		t.AddRow(fmt.Sprint(act), f2(r.Perplexity), pct(r.FinalAcc), f2(sp)+"x")
+		return []string{fmt.Sprint(act), f2(r.Perplexity), pct(r.FinalAcc), f2(sp) + "x"}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("paper Fig 13: accuracy 22.50-21.21, speedup 1.63x-1.15x across activation points; act_aft_steps=500 strikes the balance")
 	return t
@@ -325,24 +412,30 @@ func Fig13(seed int64) *Table {
 // parameter update, and TECO-Reduction against both — the §II-A argument
 // that DPU only helps at large batches (where there is little left to hide)
 // while TECO wins exactly where memory pressure forces small batches.
-func AblationDPU() *Table {
+func AblationDPU() *Table { return AblationDPUWith(Options{}) }
+
+// AblationDPUWith is AblationDPU on the sweep pool.
+func AblationDPUWith(opt Options) *Table {
 	t := &Table{
 		ID:     "ablation-dpu",
 		Title:  "DPU ablation (Bert-large-cased)",
 		Header: []string{"Batch", "ZeRO-Offload", "ZeRO+DPU", "TECO-Reduction", "TECO vs DPU"},
 	}
-	e := zero.NewEngine()
-	red := core.MustEngine(core.Config{DBA: true})
 	m := modelzoo.BertLargeCased()
-	for _, b := range []int{4, 8, 16, 20} {
+	batches := []int{4, 8, 16, 20}
+	for _, row := range grid(opt, len(batches), func(i int) []string {
+		b := batches[i]
+		e := zero.NewEngine()
 		plain := e.Step(m, b)
 		dpu := e.StepDPU(m, b)
-		teco := red.Step(m, b)
-		t.AddRow(fmt.Sprint(b),
+		teco := core.MustEngine(core.Config{DBA: true}).Step(m, b)
+		return []string{fmt.Sprint(b),
 			ms(plain.Total().Milliseconds()),
 			ms(dpu.Total().Milliseconds()),
 			ms(teco.Total().Milliseconds()),
-			f2(float64(dpu.Total())/float64(teco.Total()))+"x")
+			f2(float64(dpu.Total())/float64(teco.Total())) + "x"}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("DPU hides the CPU chain only once GPU arithmetic intensity is high (paper §II-A); it also risks changing convergence, which TECO avoids")
 	return t
@@ -364,7 +457,11 @@ func TableVII() *Table {
 }
 
 // TableVIII reproduces Table VIII: the lossless LZ4 transfer pipeline.
-func TableVIII(seed int64) *Table {
+func TableVIII(seed int64) *Table { return TableVIIIWith(Options{Seed: seed}) }
+
+// TableVIIIWith is TableVIII on the sweep pool (one compression pipeline
+// per model).
+func TableVIIIWith(opt Options) *Table {
 	t := &Table{
 		ID:     "table8",
 		Title:  "Lossless compression (LZ4) pipeline, normalized to TECO-Reduction",
@@ -372,9 +469,13 @@ func TableVIII(seed int64) *Table {
 	}
 	paperRatio := map[string]string{"GPT2": "5%", "Albert-xxlarge-v1": "0%", "Bert-large-cased": "0%", "T5-large": "36%"}
 	paperTime := map[string]string{"GPT2": "4.51", "Albert-xxlarge-v1": "1.95", "Bert-large-cased": "3.03", "T5-large": "2.04"}
-	for _, m := range []modelzoo.Model{modelzoo.GPT2(), modelzoo.AlbertXXLarge(), modelzoo.BertLargeCased(), modelzoo.T5Large()} {
-		row := compressbl.LosslessCompression(m, 4, seed)
-		t.AddRow(m.Name, pct(row.Ratio), paperRatio[m.Name], f2(row.Normalized), paperTime[m.Name])
+	models := []modelzoo.Model{modelzoo.GPT2(), modelzoo.AlbertXXLarge(), modelzoo.BertLargeCased(), modelzoo.T5Large()}
+	for _, row := range grid(opt, len(models), func(i int) []string {
+		m := models[i]
+		r := compressbl.LosslessCompression(m, 4, opt.Seed)
+		return []string{m.Name, pct(r.Ratio), paperRatio[m.Name], f2(r.Normalized), paperTime[m.Name]}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("compression ratios measured with the from-scratch LZ4 on synthetic parameter snapshots; the pipeline is at least ~2x slower than TECO everywhere (paper's conclusion)")
 	return t
@@ -404,25 +505,36 @@ func LAMMPS() *Table {
 }
 
 // All runs every experiment and returns the tables in paper order.
-func All(seed int64) []*Table {
-	f2a, f2b := Fig2(seed)
-	return []*Table{
-		TableI(),
-		f2a, f2b,
-		AblationInvalidation(),
-		Fig11TableIV(),
-		TableV(seed),
-		Fig10(seed),
-		Fig12(),
-		CommVolume(),
-		TableVI(),
-		Fig13(seed),
-		TableVII(),
-		TableVIII(seed),
-		LAMMPS(),
-		FaultSweep(Options{Seed: seed}),
-		RecoverySweep(Options{Seed: seed}),
+func All(seed int64) []*Table { return AllWith(Options{Seed: seed}) }
+
+// AllWith runs every experiment on the sweep pool: the generators
+// themselves are the outer grid (inner grids share the same pool budget via
+// goroutine scheduling), and the shared run cache collapses the duplicate
+// fine-tuning runs across Fig 2, Fig 10, Table V and the fault/recovery
+// sweeps. Table order is always paper order.
+func AllWith(opt Options) []*Table {
+	gens := []func() []*Table{
+		func() []*Table { return []*Table{TableIWith(opt)} },
+		func() []*Table { a, b := Fig2With(opt); return []*Table{a, b} },
+		func() []*Table { return []*Table{AblationInvalidationWith(opt)} },
+		func() []*Table { return []*Table{Fig11TableIVWith(opt)} },
+		func() []*Table { return []*Table{TableVWith(opt)} },
+		func() []*Table { return []*Table{Fig10With(opt)} },
+		func() []*Table { return []*Table{Fig12With(opt)} },
+		func() []*Table { return []*Table{CommVolumeWith(opt)} },
+		func() []*Table { return []*Table{TableVIWith(opt)} },
+		func() []*Table { return []*Table{Fig13With(opt)} },
+		func() []*Table { return []*Table{TableVII()} },
+		func() []*Table { return []*Table{TableVIIIWith(opt)} },
+		func() []*Table { return []*Table{LAMMPS()} },
+		func() []*Table { return []*Table{FaultSweep(opt)} },
+		func() []*Table { return []*Table{RecoverySweep(opt)} },
 	}
+	var out []*Table
+	for _, tabs := range grid(opt, len(gens), func(i int) []*Table { return gens[i]() }) {
+		out = append(out, tabs...)
+	}
+	return out
 }
 
 // ByID runs a single experiment by its id; Fig2 returns two tables.
@@ -431,9 +543,8 @@ func ByID(id string, seed int64) ([]*Table, error) {
 }
 
 // ByIDWith runs a single experiment with the full option set (fault
-// injection knobs included).
+// injection and scheduling knobs included).
 func ByIDWith(id string, opt Options) ([]*Table, error) {
-	seed := opt.Seed
 	switch id {
 	case "faults":
 		if err := opt.validateFaults(); err != nil {
@@ -446,42 +557,42 @@ func ByIDWith(id string, opt Options) ([]*Table, error) {
 		}
 		return []*Table{RecoverySweep(opt)}, nil
 	case "table1":
-		return []*Table{TableI()}, nil
+		return []*Table{TableIWith(opt)}, nil
 	case "fig2", "fig2a", "fig2b":
-		a, b := Fig2(seed)
+		a, b := Fig2With(opt)
 		return []*Table{a, b}, nil
 	case "ablation-inval":
-		return []*Table{AblationInvalidation()}, nil
+		return []*Table{AblationInvalidationWith(opt)}, nil
 	case "fig11", "table4":
-		return []*Table{Fig11TableIV()}, nil
+		return []*Table{Fig11TableIVWith(opt)}, nil
 	case "table5":
-		return []*Table{TableV(seed)}, nil
+		return []*Table{TableVWith(opt)}, nil
 	case "fig10":
-		return []*Table{Fig10(seed)}, nil
+		return []*Table{Fig10With(opt)}, nil
 	case "fig12":
-		return []*Table{Fig12()}, nil
+		return []*Table{Fig12With(opt)}, nil
 	case "volume":
-		return []*Table{CommVolume()}, nil
+		return []*Table{CommVolumeWith(opt)}, nil
 	case "table6":
-		return []*Table{TableVI()}, nil
+		return []*Table{TableVIWith(opt)}, nil
 	case "fig13":
-		return []*Table{Fig13(seed)}, nil
+		return []*Table{Fig13With(opt)}, nil
 	case "table7":
 		return []*Table{TableVII()}, nil
 	case "table8":
-		return []*Table{TableVIII(seed)}, nil
+		return []*Table{TableVIIIWith(opt)}, nil
 	case "lammps":
 		return []*Table{LAMMPS()}, nil
 	case "tune-act":
-		return []*Table{TuneActAfterSteps(seed)}, nil
+		return []*Table{TuneActAfterStepsWith(opt)}, nil
 	case "ablation-dpu":
-		return []*Table{AblationDPU()}, nil
+		return []*Table{AblationDPUWith(opt)}, nil
 	case "time-to-loss":
-		return []*Table{TimeToLoss(seed)}, nil
+		return []*Table{TimeToLossWith(opt)}, nil
 	case "linkspeed":
-		return []*Table{LinkSpeedSweep()}, nil
+		return []*Table{LinkSpeedSweepWith(opt)}, nil
 	case "all":
-		return All(seed), nil
+		return AllWith(opt), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}

@@ -6,6 +6,7 @@ import (
 	"teco/internal/core"
 	"teco/internal/cxl"
 	"teco/internal/modelzoo"
+	"teco/internal/phases"
 )
 
 // Options parameterizes experiment generation beyond the seed. The zero
@@ -29,6 +30,16 @@ type Options struct {
 	// CrashAt > 0 additionally kills every recovery-sweep run at that step
 	// and restores it from disk (core.CrashRun).
 	CrashAt int
+	// Workers sizes the sweep worker pool (grid points run concurrently)
+	// and rides into the trainers' intra-step hot loops. <= 0 uses
+	// GOMAXPROCS for the pool; 1 runs everything serially. Purely a
+	// scheduling knob — every table is identical at every worker count.
+	Workers int
+	// NoMemo disables the shared-run memoization (runcache.go), forcing
+	// every requested fine-tuning run to execute from scratch. The tables
+	// do not change; only wall-clock does. The benchmark harness uses it
+	// to measure the memoization win.
+	NoMemo bool
 }
 
 // validateRecovery rejects recovery-sweep options before any cell runs.
@@ -85,45 +96,67 @@ func FaultSweep(opt Options) *Table {
 	m := modelzoo.BertLargeCased()
 	bw := modelzoo.CXLLinkBandwidth()
 	dirties := []int{1, 2, 4}
-	clean := make(map[int]float64)
-	for _, ber := range faultSweepBERs(opt) {
-		for _, db := range dirties {
-			cfg := core.Config{
-				DBA:        true,
-				DirtyBytes: db,
-				Degrade:    opt.Degrade,
-				Faults: cxl.FaultConfig{
-					Seed:        opt.Seed,
-					BER:         ber,
-					RetryBudget: opt.RetryBudget,
-				},
-			}
-			e, err := core.NewEngine(cfg)
-			if err != nil {
-				t.Note("invalid fault config: %v", err)
-				return t
-			}
-			r := e.Step(m, 4)
-			total := float64(r.Total())
-			if ber == 0 {
-				clean[db] = total
-			}
-			policy := "DBA"
-			if r.Fault.Degraded {
-				policy = "full-line (degraded)"
-			}
-			t.AddRow(
-				fmt.Sprintf("%.0e", ber),
-				fmt.Sprint(db),
-				fmt.Sprint(r.Fault.Retries),
-				mb(r.Fault.ReplayedBytes),
-				fmt.Sprint(r.Fault.Poisoned),
-				ms(r.Fault.Exposed.Milliseconds()),
-				ms(r.Total().Milliseconds()),
-				f2(total/clean[db])+"x",
-				policy,
-			)
+	type cell struct{ ber, db int }
+	var cells []cell
+	bers := faultSweepBERs(opt)
+	for bi := range bers {
+		for di := range dirties {
+			cells = append(cells, cell{bi, di})
 		}
+	}
+	type measured struct {
+		ber      float64
+		db       int
+		r        phases.StepResult
+		degraded bool
+	}
+	// Every cell gets a fresh engine (engines carry fault-RNG state), so the
+	// grid points are independent and run concurrently; the clean-baseline
+	// ratio needs every cell, so it is derived after the join.
+	results, err := gridErr(opt, len(cells), func(i int) (measured, error) {
+		ber, db := bers[cells[i].ber], dirties[cells[i].db]
+		e, err := core.NewEngine(core.Config{
+			DBA:        true,
+			DirtyBytes: db,
+			Degrade:    opt.Degrade,
+			Faults: cxl.FaultConfig{
+				Seed:        opt.Seed,
+				BER:         ber,
+				RetryBudget: opt.RetryBudget,
+			},
+		})
+		if err != nil {
+			return measured{}, err
+		}
+		r := e.Step(m, 4)
+		return measured{ber: ber, db: db, r: r, degraded: r.Fault.Degraded}, nil
+	})
+	if err != nil {
+		t.Note("invalid fault config: %v", err)
+		return t
+	}
+	clean := make(map[int]float64)
+	for _, res := range results {
+		if res.ber == 0 {
+			clean[res.db] = float64(res.r.Total())
+		}
+	}
+	for _, res := range results {
+		policy := "DBA"
+		if res.degraded {
+			policy = "full-line (degraded)"
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0e", res.ber),
+			fmt.Sprint(res.db),
+			fmt.Sprint(res.r.Fault.Retries),
+			mb(res.r.Fault.ReplayedBytes),
+			fmt.Sprint(res.r.Fault.Poisoned),
+			ms(res.r.Fault.Exposed.Milliseconds()),
+			ms(res.r.Total().Milliseconds()),
+			f2(float64(res.r.Total())/clean[res.db])+"x",
+			policy,
+		)
 	}
 	cross := core.DegradationCrossoverBER(cxl.FaultConfig{BER: 1e-6, RetryBudget: opt.RetryBudget}, 2, bw)
 	t.Note("aggregated payloads become uneconomical (every retried DBA packet re-pays the merge-header round trip) above BER ~%.1e for dirty_bytes=2; pass -degrade to let the policy fall back to full lines", cross)

@@ -14,7 +14,11 @@ import (
 // and reports how TECO's advantage evolves — faster links shrink the
 // absolute transfer times but the coarse-grained exposure problem (and
 // TECO's fix) persists.
-func LinkSpeedSweep() *Table {
+func LinkSpeedSweep() *Table { return LinkSpeedSweepWith(Options{}) }
+
+// LinkSpeedSweepWith is LinkSpeedSweep on the sweep pool (one link
+// generation per point, fresh engines per point).
+func LinkSpeedSweepWith(opt Options) *Table {
 	t := &Table{
 		ID:     "linkspeed",
 		Title:  "Interconnect-generation sweep (Bert-large-cased, batch 4)",
@@ -29,16 +33,19 @@ func LinkSpeedSweep() *Table {
 		{"PCIe 4.0 x16", 32e9},
 		{"PCIe 5.0 x16", 64e9},
 	}
-	for _, g := range gens {
+	for _, row := range grid(opt, len(gens), func(i int) []string {
+		g := gens[i]
 		base := zero.NewEngine()
 		base.LinkBandwidth = g.raw * modelzoo.BaselineDMAEfficiency
 		teco := core.MustEngine(core.Config{DBA: true})
 		teco.LinkBandwidth = g.raw * modelzoo.CXLEfficiency
 		rb := base.Step(m, 4)
 		rt := teco.Step(m, 4)
-		t.AddRow(g.name, fmt.Sprintf("%.0f", g.raw/1e9),
+		return []string{g.name, fmt.Sprintf("%.0f", g.raw/1e9),
 			ms(rb.Total().Milliseconds()), ms(rt.Total().Milliseconds()),
-			f2(rt.Speedup(rb))+"x")
+			f2(rt.Speedup(rb)) + "x"}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Note("faster links shrink the absolute gap but ZeRO-Offload's exposed transfers remain on the critical path; TECO's overlap advantage persists across generations")
 	return t

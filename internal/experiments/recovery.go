@@ -46,52 +46,72 @@ func RecoverySweep(opt Options) *Table {
 		Header: []string{"Interval", "SDC rate", "Ckpts", "Ckpt vol", "Detected",
 			"Rollbacks", "Replayed", "Recovery", "Bit-identical"},
 	}
-	ref := realtrain.Run(recoveryTrainConfig(opt.Seed))
+	ref := runTrain(opt, recoveryTrainConfig(opt.Seed))
 
 	intervals, rates := recoveryGrid(opt)
+	type cell struct {
+		interval int
+		rate     float64
+	}
+	var cells []cell
 	for _, interval := range intervals {
 		for _, rate := range rates {
-			dir, err := os.MkdirTemp(opt.CkptDir, "teco-recovery-*")
-			if err != nil {
-				t.Note("cannot create checkpoint directory: %v", err)
-				return t
-			}
-			cfg := core.SessionConfig{
-				Train:    recoveryTrainConfig(opt.Seed),
-				Dir:      dir,
-				Interval: interval,
-				SDC:      core.SDCPlan{Seed: opt.Seed + int64(interval), Rate: rate},
-			}
-			res, stats, err := runRecoveryCell(cfg, opt.CrashAt)
-			os.RemoveAll(dir)
-			if err != nil {
-				t.Note("interval %d rate %.2f: %v", interval, rate, err)
-				return t
-			}
-			identical := "yes"
-			if res.FinalLoss != ref.FinalLoss || res.FinalAcc != ref.FinalAcc ||
-				len(res.Samples) != len(ref.Samples) {
-				identical = "NO"
-			} else {
-				for i := range res.Samples {
-					if res.Samples[i] != ref.Samples[i] {
-						identical = "NO"
-						break
-					}
+			cells = append(cells, cell{interval, rate})
+		}
+	}
+	// Each cell owns a private checkpoint directory and session, so the
+	// interval x rate grid runs concurrently on the sweep pool; the trainer
+	// inside every session inherits the Workers knob (crash/restore under
+	// the parallel trainer is part of the determinism surface).
+	rows, err := gridErr(opt, len(cells), func(i int) ([]string, error) {
+		interval, rate := cells[i].interval, cells[i].rate
+		dir, err := os.MkdirTemp(opt.CkptDir, "teco-recovery-*")
+		if err != nil {
+			return nil, fmt.Errorf("cannot create checkpoint directory: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		train := recoveryTrainConfig(opt.Seed)
+		train.Workers = opt.Workers
+		cfg := core.SessionConfig{
+			Train:    train,
+			Dir:      dir,
+			Interval: interval,
+			SDC:      core.SDCPlan{Seed: opt.Seed + int64(interval), Rate: rate},
+		}
+		res, stats, err := runRecoveryCell(cfg, opt.CrashAt)
+		if err != nil {
+			return nil, fmt.Errorf("interval %d rate %.2f: %w", interval, rate, err)
+		}
+		identical := "yes"
+		if res.FinalLoss != ref.FinalLoss || res.FinalAcc != ref.FinalAcc ||
+			len(res.Samples) != len(ref.Samples) {
+			identical = "NO"
+		} else {
+			for i := range res.Samples {
+				if res.Samples[i] != ref.Samples[i] {
+					identical = "NO"
+					break
 				}
 			}
-			t.AddRow(
-				fmt.Sprint(interval),
-				fmt.Sprintf("%.2f", rate),
-				fmt.Sprint(stats.CkptWrites),
-				mb(stats.CkptBytes),
-				fmt.Sprint(stats.SDCDetected),
-				fmt.Sprint(stats.Rollbacks),
-				fmt.Sprint(stats.ReplayedSteps),
-				ms(stats.RecoveryTime.Milliseconds()),
-				identical,
-			)
 		}
+		return []string{
+			fmt.Sprint(interval),
+			fmt.Sprintf("%.2f", rate),
+			fmt.Sprint(stats.CkptWrites),
+			mb(stats.CkptBytes),
+			fmt.Sprint(stats.SDCDetected),
+			fmt.Sprint(stats.Rollbacks),
+			fmt.Sprint(stats.ReplayedSteps),
+			ms(stats.RecoveryTime.Milliseconds()),
+			identical,
+		}, nil
+	})
+	if err != nil {
+		t.Note("%v", err)
+		return t
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	if opt.CrashAt > 0 {
 		t.Note("each cell additionally killed at step %d and restored from disk (crash-injection harness)", opt.CrashAt)

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"context"
+
+	"teco/internal/parallel"
+)
+
+// grid evaluates fn over every index of an n-point experiment grid on the
+// option's sweep pool (Workers <= 0: GOMAXPROCS, 1: serial) and returns the
+// values in grid order regardless of completion order — table rows come out
+// identical at every worker count.
+func grid[T any](opt Options, n int, fn func(i int) T) []T {
+	out, _ := parallel.Run(context.Background(), opt.Workers, n,
+		func(_ context.Context, i int) (T, error) { return fn(i), nil })
+	return out
+}
+
+// gridErr is grid for cells that can fail: the lowest-indexed error cancels
+// the sweep and is returned, so the reported failure is deterministic.
+func gridErr[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Run(context.Background(), opt.Workers, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+}

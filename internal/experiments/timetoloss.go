@@ -17,7 +17,12 @@ import (
 // It answers the question the paper's separate convergence and speedup
 // results imply: how much sooner does TECO-Reduction reach a given training
 // loss in wall-clock time?
-func TimeToLoss(seed int64) *Table {
+func TimeToLoss(seed int64) *Table { return TimeToLossWith(Options{Seed: seed}) }
+
+// TimeToLossWith is TimeToLoss with both training runs as concurrent grid
+// points against the shared run cache (they are the same configs Fig 10
+// uses, so under "all" they cost nothing extra).
+func TimeToLossWith(opt Options) *Table {
 	t := &Table{
 		ID:     "time-to-loss",
 		Title:  "Wall-clock time to reach a training-loss level (GPT-2 proxy, batch 4)",
@@ -25,8 +30,12 @@ func TimeToLoss(seed int64) *Table {
 	}
 	m := modelzoo.GPT2()
 	act := RealTrainSteps / 4
-	base := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed})
-	red := realtrain.Run(realtrain.Config{Steps: RealTrainSteps, Seed: seed, DBA: true, ActAfterSteps: act})
+	cfgs := []realtrain.Config{
+		{Steps: RealTrainSteps, Seed: opt.Seed},
+		{Steps: RealTrainSteps, Seed: opt.Seed, DBA: true, ActAfterSteps: act},
+	}
+	runs := grid(opt, len(cfgs), func(i int) realtrain.Result { return runTrain(opt, cfgs[i]) })
+	base, red := runs[0], runs[1]
 
 	baseStep := zero.NewEngine().Step(m, 4).Total()
 	cxlStep := core.MustEngine(core.Config{}).Step(m, 4).Total()

@@ -17,7 +17,15 @@ const tuneSteps = 300
 // TuneActAfterSteps runs the paper's §V-A prescription — "act_aft_steps can
 // be tuned using the Bayesian optimization" — with the from-scratch GP
 // optimizer over the activation step, maximizing a quality+speed score.
-func TuneActAfterSteps(seed int64) *Table {
+func TuneActAfterSteps(seed int64) *Table { return TuneActAfterStepsWith(Options{Seed: seed}) }
+
+// TuneActAfterStepsWith is TuneActAfterSteps with the objective served by
+// the shared run cache. Bayesian optimization is inherently sequential
+// (each acquisition depends on all previous observations), so the
+// optimizer loop stays serial; the cache still collapses re-evaluations of
+// activation steps the GP revisits.
+func TuneActAfterStepsWith(opt Options) *Table {
+	seed := opt.Seed
 	t := &Table{
 		ID:     "tune-act",
 		Title:  "Bayesian optimization of act_aft_steps (§V-A)",
@@ -41,7 +49,7 @@ func TuneActAfterSteps(seed int64) *Table {
 		if act > tuneSteps {
 			act = tuneSteps
 		}
-		r := realtrain.Run(realtrain.Config{Steps: tuneSteps, Seed: seed, DBA: true, ActAfterSteps: act})
+		r := runTrain(opt, realtrain.Config{Steps: tuneSteps, Seed: seed, DBA: true, ActAfterSteps: act})
 		avg := (float64(cxlStep)*float64(act) + float64(dbaStep)*float64(tuneSteps-act)) / tuneSteps
 		sp := float64(base.Total()) / avg
 		// Quality dominates; speed breaks ties (the paper's "strikes a

@@ -7,6 +7,8 @@ package optim
 import (
 	"fmt"
 	"math"
+
+	"teco/internal/parallel"
 )
 
 // AdamConfig holds ADAM hyperparameters. Zero values select the PyTorch
@@ -17,6 +19,11 @@ type AdamConfig struct {
 	Beta2       float64 // second-moment decay (default 0.999)
 	Eps         float64 // numerical epsilon (default 1e-8)
 	WeightDecay float64 // decoupled weight decay (default 0)
+	// Workers runs the update over chunked goroutines (1 or 0: serial).
+	// Purely a scheduling knob: the update is element-wise, so the result
+	// is bit-identical at every worker count (asserted by the determinism
+	// tests) and Workers is excluded from every config fingerprint.
+	Workers int
 }
 
 func (c AdamConfig) withDefaults() AdamConfig {
@@ -90,20 +97,24 @@ func (a *Adam) Step(params, grads []float32) error {
 	lr := a.cfg.LR
 	eps := a.cfg.Eps
 	wd := a.cfg.WeightDecay
-	for i := range params {
-		g := float64(grads[i])
-		if wd != 0 {
-			// Decoupled (AdamW-style) weight decay.
-			params[i] -= float32(lr * wd * float64(params[i]))
+	// The update is element-wise (no cross-element arithmetic), so chunked
+	// goroutines over disjoint ranges produce the exact serial bits.
+	parallel.ForChunks(a.cfg.Workers, len(params), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := float64(grads[i])
+			if wd != 0 {
+				// Decoupled (AdamW-style) weight decay.
+				params[i] -= float32(lr * wd * float64(params[i]))
+			}
+			m := b1*float64(a.m[i]) + (1-b1)*g
+			v := b2*float64(a.v[i]) + (1-b2)*g*g
+			a.m[i] = float32(m)
+			a.v[i] = float32(v)
+			mhat := m / c1
+			vhat := v / c2
+			params[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
 		}
-		m := b1*float64(a.m[i]) + (1-b1)*g
-		v := b2*float64(a.v[i]) + (1-b2)*g*g
-		a.m[i] = float32(m)
-		a.v[i] = float32(v)
-		mhat := m / c1
-		vhat := v / c2
-		params[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
-	}
+	})
 	return nil
 }
 
@@ -131,14 +142,16 @@ func (a *Adam) Restore(m, v []float32, step int) error {
 // The trainer scans parameters and optimizer moments with it after each
 // ADAM step: a NaN produced by ADAM on corrupted bytes is a silent-data-
 // corruption signal that must trigger rollback, not propagate.
-func FirstNonFinite(x []float32) int {
-	for i, v := range x {
-		f := float64(v)
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return i
-		}
-	}
-	return -1
+func FirstNonFinite(x []float32) int { return FirstNonFiniteWorkers(x, 1) }
+
+// FirstNonFiniteWorkers is FirstNonFinite over chunked goroutines. The
+// parallel path takes the minimum over per-chunk first hits, so the index
+// returned is the serial one at every worker count.
+func FirstNonFiniteWorkers(x []float32, workers int) int {
+	return parallel.FirstIndex(workers, len(x), func(i int) bool {
+		f := float64(x[i])
+		return math.IsNaN(f) || math.IsInf(f, 0)
+	})
 }
 
 // GlobalNorm returns the L2 norm of the gradient vector.
