@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check experiments loc
+.PHONY: all build vet test test-short bench benchflow perfgate check experiments loc
 
 all: build vet test
 
@@ -41,6 +41,17 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchpar -out BENCH_parallel.json
+
+# Flow-coalescing report: the stream microbenchmark (per-line vs coalesced)
+# and the end-to-end suite seconds, written to BENCH_flow.json.
+benchflow:
+	$(GO) run ./cmd/benchflow -out BENCH_flow.json
+
+# Perf-regression gate: re-measure the stream microbenchmark and fail on a
+# >25% ns/op regression against perf_baseline.json (run with
+# `go run ./cmd/perfgate -update` after an intentional perf change).
+perfgate:
+	$(GO) run ./cmd/perfgate
 
 # Regenerate every paper table/figure (plus the extension experiments) as
 # markdown on stdout.

@@ -1,0 +1,150 @@
+// Command benchflow measures the flow-coalescing fast path and writes the
+// results as JSON (default BENCH_flow.json):
+//
+//   - the stream microbenchmark (one 1024-line homogeneous run per op) on
+//     the per-line reference path versus the coalesced fast path, with
+//     allocation counts, and
+//   - the accuracy-experiment suite (the same ids BENCH_parallel.json
+//     times) end-to-end under the coalescing default, compared against the
+//     suite seconds recorded in an existing BENCH_parallel.json.
+//
+// Both modes produce bit-identical tables (asserted by the cross-check
+// suites in internal/core and internal/experiments); only wall-clock
+// differs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"teco/internal/experiments"
+	"teco/internal/profileflags"
+	"teco/internal/streambench"
+)
+
+type suiteResult struct {
+	IDs []string `json:"ids"`
+	// SerialNoMemoSeconds matches BENCH_parallel.json's configuration of
+	// record: workers=1, memoization off, coalescing on (the default).
+	SerialNoMemoSeconds float64 `json:"serial_no_memo_seconds"`
+	// BaselineSerialSeconds is the same row from the baseline file, i.e.
+	// the pre-coalescing suite cost.
+	BaselineSerialSeconds float64 `json:"baseline_serial_seconds,omitempty"`
+	// Improvement is baseline/current (>1 means faster now).
+	Improvement float64 `json:"improvement,omitempty"`
+}
+
+type report struct {
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Seed       int64 `json:"seed"`
+	RunLines   int   `json:"run_lines"`
+
+	PerLine   streambench.Result `json:"per_line"`
+	Coalesced streambench.Result `json:"coalesced"`
+	// MicrobenchSpeedup is per-line ns/op over coalesced ns/op for the same
+	// pushed run — the tentpole's >=5x target.
+	MicrobenchSpeedup float64 `json:"microbench_speedup"`
+
+	Suite *suiteResult `json:"suite,omitempty"`
+}
+
+// baselineSuiteSeconds pulls suite.serial_no_memo_seconds out of a
+// BENCH_parallel.json, tolerating either the old or the regenerated shape.
+func baselineSuiteSeconds(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		Suite struct {
+			SerialNoMemoSeconds float64 `json:"serial_no_memo_seconds"`
+		} `json:"suite"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, err
+	}
+	if doc.Suite.SerialNoMemoSeconds == 0 {
+		return 0, fmt.Errorf("%s: no suite.serial_no_memo_seconds", path)
+	}
+	return doc.Suite.SerialNoMemoSeconds, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_flow.json", "output JSON path")
+	baseline := flag.String("baseline", "BENCH_parallel.json", "existing parallel report to compare suite seconds against (\"\" to skip)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	repeat := flag.Int("repeat", 3, "microbenchmark repetitions (best-of)")
+	skipSuite := flag.Bool("skip-suite", false, "only run the stream microbenchmark (fast)")
+	prof := profileflags.Register(nil)
+	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: *seed, RunLines: streambench.RunLines}
+
+	fmt.Fprintf(os.Stderr, "stream microbenchmark (%d-line runs, best of %d)...\n", streambench.RunLines, *repeat)
+	rep.PerLine = streambench.Best(streambench.MeasurePerLine, *repeat)
+	rep.Coalesced = streambench.Best(streambench.MeasureCoalesced, *repeat)
+	rep.MicrobenchSpeedup = float64(rep.PerLine.NsPerOp) / float64(rep.Coalesced.NsPerOp)
+	fmt.Fprintf(os.Stderr, "  per-line  %10d ns/op (%6.1f ns/line, %d allocs/op)\n",
+		rep.PerLine.NsPerOp, rep.PerLine.NsPerLine, rep.PerLine.AllocsPerOp)
+	fmt.Fprintf(os.Stderr, "  coalesced %10d ns/op (%d allocs/op)\n",
+		rep.Coalesced.NsPerOp, rep.Coalesced.AllocsPerOp)
+	fmt.Fprintf(os.Stderr, "  speedup   %.0fx\n", rep.MicrobenchSpeedup)
+
+	if !*skipSuite {
+		ids := []string{"fig2", "table5", "fig10", "fig13", "time-to-loss"}
+		fmt.Fprintf(os.Stderr, "running accuracy suite %v serially, memoization off, coalescing on...\n", ids)
+		t0 := time.Now()
+		for _, id := range ids {
+			if _, err := experiments.ByIDWith(id, experiments.Options{Seed: *seed, Workers: 1, NoMemo: true}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		cur := time.Since(t0).Seconds()
+		s := &suiteResult{IDs: ids, SerialNoMemoSeconds: cur}
+		if *baseline != "" {
+			if prev, err := baselineSuiteSeconds(*baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "  (no baseline: %v)\n", err)
+			} else {
+				s.BaselineSerialSeconds = prev
+				s.Improvement = prev / cur
+			}
+		}
+		if s.Improvement > 0 {
+			fmt.Fprintf(os.Stderr, "  %.1fs (baseline %.1fs, %.2fx)\n", cur, s.BaselineSerialSeconds, s.Improvement)
+		} else {
+			fmt.Fprintf(os.Stderr, "  %.1fs\n", cur)
+		}
+		rep.Suite = s
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -26,6 +26,7 @@ import (
 	"teco/internal/dba"
 	"teco/internal/experiments"
 	"teco/internal/optim"
+	"teco/internal/profileflags"
 )
 
 const hotN = 1 << 20 // elements per hot-path benchmark tensor
@@ -45,11 +46,20 @@ type suiteResult struct {
 	Speedup                 float64  `json:"speedup"`
 }
 
+// procRun is one hot-path measurement pass pinned to a GOMAXPROCS setting.
+// The 1-proc row is the scheduling-overhead control (parallel speedups there
+// are necessarily ~1.00x); the NumCPU row is the real parallel measurement.
+type procRun struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	HotPaths   []hotPath `json:"hot_paths"`
+}
+
 type report struct {
+	NumCPU     int          `json:"num_cpu"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Workers    int          `json:"workers"`
 	Seed       int64        `json:"seed"`
-	HotPaths   []hotPath    `json:"hot_paths"`
+	HotPaths   []procRun    `json:"hot_path_runs"`
 	Suite      *suiteResult `json:"suite,omitempty"`
 }
 
@@ -124,18 +134,42 @@ func runSuite(ids []string, opt experiments.Options) (time.Duration, error) {
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
 	seed := flag.Int64("seed", 42, "experiment seed")
-	workers := flag.Int("workers", 4, "worker count for the parallel measurements")
+	workers := flag.Int("workers", 0, "worker count for the parallel measurements (0: NumCPU)")
 	skipSuite := flag.Bool("skip-suite", false, "only benchmark the hot paths (fast)")
+	prof := profileflags.Register(nil)
 	flag.Parse()
 
-	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: *workers, Seed: *seed}
-
-	fmt.Fprintf(os.Stderr, "benchmarking hot paths (serial vs %d workers)...\n", *workers)
-	rep.HotPaths = hotPaths(*workers)
-	for _, h := range rep.HotPaths {
-		fmt.Fprintf(os.Stderr, "  %-18s serial %8.2fms  parallel %8.2fms  %.2fx\n",
-			h.Name, float64(h.SerialNsPerOp)/1e6, float64(h.ParallelNsPerOp)/1e6, h.Speedup)
+	// Run at the machine's real parallelism even if the environment pinned
+	// GOMAXPROCS down (the original BENCH_parallel.json was captured at
+	// gomaxprocs=1, which made every hot-path "speedup" a no-op).
+	numCPU := runtime.NumCPU()
+	runtime.GOMAXPROCS(numCPU)
+	if *workers <= 0 {
+		*workers = numCPU
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := report{NumCPU: numCPU, GOMAXPROCS: numCPU, Workers: *workers, Seed: *seed}
+
+	procs := []int{1, numCPU}
+	if numCPU == 1 {
+		procs = procs[:1]
+	}
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		fmt.Fprintf(os.Stderr, "benchmarking hot paths at GOMAXPROCS=%d (serial vs %d workers)...\n", p, *workers)
+		run := procRun{GOMAXPROCS: p, HotPaths: hotPaths(*workers)}
+		for _, h := range run.HotPaths {
+			fmt.Fprintf(os.Stderr, "  %-18s serial %8.2fms  parallel %8.2fms  %.2fx\n",
+				h.Name, float64(h.SerialNsPerOp)/1e6, float64(h.ParallelNsPerOp)/1e6, h.Speedup)
+		}
+		rep.HotPaths = append(rep.HotPaths, run)
+	}
+	runtime.GOMAXPROCS(numCPU)
 
 	if !*skipSuite {
 		ids := []string{"fig2", "table5", "fig10", "fig13", "time-to-loss"}
@@ -173,6 +207,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,110 @@
+// Command perfgate is the CI perf-regression gate for the stream
+// simulator. It re-measures the stream microbenchmark (the same workload
+// cmd/benchflow records) and fails — exit status 1 — if:
+//
+//   - either mode's ns/op regressed more than the threshold (default 25%)
+//     against the checked-in baseline (perf_baseline.json),
+//   - either mode allocates in steady state, or
+//   - the coalescing speedup fell below the tentpole's 5x floor.
+//
+// Measurements take the best of -repeat runs, so scheduler noise on a busy
+// CI box shows up as a slow outlier that is discarded, not a false failure.
+// Run with -update after an intentional perf change to rewrite the
+// baseline. No external dependencies: the check is this binary plus a JSON
+// file in the repo.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"teco/internal/streambench"
+)
+
+type baseline struct {
+	// RunLines pins the workload shape the numbers were captured at.
+	RunLines         int   `json:"run_lines"`
+	PerLineNsPerOp   int64 `json:"per_line_ns_per_op"`
+	CoalescedNsPerOp int64 `json:"coalesced_ns_per_op"`
+}
+
+func main() {
+	path := flag.String("baseline", "perf_baseline.json", "checked-in baseline path")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op regression before failing")
+	minSpeedup := flag.Float64("min-speedup", 5, "minimum coalescing speedup (per-line / coalesced ns/op)")
+	repeat := flag.Int("repeat", 3, "measurement repetitions (best-of)")
+	update := flag.Bool("update", false, "rewrite the baseline from this machine's measurement and exit")
+	flag.Parse()
+
+	perLine := streambench.Best(streambench.MeasurePerLine, *repeat)
+	coalesced := streambench.Best(streambench.MeasureCoalesced, *repeat)
+	speedup := float64(perLine.NsPerOp) / float64(coalesced.NsPerOp)
+	fmt.Printf("stream microbenchmark (%d-line runs, best of %d):\n", streambench.RunLines, *repeat)
+	fmt.Printf("  per-line  %10d ns/op  %d allocs/op\n", perLine.NsPerOp, perLine.AllocsPerOp)
+	fmt.Printf("  coalesced %10d ns/op  %d allocs/op\n", coalesced.NsPerOp, coalesced.AllocsPerOp)
+	fmt.Printf("  speedup   %.0fx\n", speedup)
+
+	if *update {
+		b := baseline{
+			RunLines:         streambench.RunLines,
+			PerLineNsPerOp:   perLine.NsPerOp,
+			CoalescedNsPerOp: coalesced.NsPerOp,
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*path, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *path)
+		return
+	}
+
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v (run with -update to create the baseline)\n", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %s: %v\n", *path, err)
+		os.Exit(1)
+	}
+	if base.RunLines != streambench.RunLines {
+		fmt.Fprintf(os.Stderr, "perfgate: baseline captured at %d-line runs, benchmark uses %d (re-run -update)\n",
+			base.RunLines, streambench.RunLines)
+		os.Exit(1)
+	}
+
+	failed := false
+	check := func(name string, got, want int64) {
+		limit := float64(want) * (1 + *threshold)
+		if float64(got) > limit {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %d ns/op exceeds baseline %d ns/op by more than %.0f%% (limit %.0f)\n",
+				name, got, want, *threshold*100, limit)
+			failed = true
+		} else {
+			fmt.Printf("  ok %s: %d ns/op within %.0f%% of baseline %d\n", name, got, *threshold*100, want)
+		}
+	}
+	check("per-line", perLine.NsPerOp, base.PerLineNsPerOp)
+	check("coalesced", coalesced.NsPerOp, base.CoalescedNsPerOp)
+	if perLine.AllocsPerOp != 0 || coalesced.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL allocations: per-line %d, coalesced %d allocs/op (want 0)\n",
+			perLine.AllocsPerOp, coalesced.AllocsPerOp)
+		failed = true
+	}
+	if speedup < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "FAIL speedup: %.1fx below the %.0fx floor\n", speedup, *minSpeedup)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: pass")
+}

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"teco/internal/core"
 	"teco/internal/experiments"
+	"teco/internal/profileflags"
 )
 
 func main() {
@@ -29,12 +31,18 @@ func main() {
 	crashAt := flag.Int("crash-at", 0, "kill and restore each recovery-sweep run at this step (0: no crash)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS, 1: serial); tables are identical at every setting")
 	noMemo := flag.Bool("no-memo", false, "disable shared-run memoization across experiments (slower, identical output)")
+	coalesce := flag.Bool("coalesce", true, "flow-coalescing fast path for the stream simulator; false runs the bit-identical per-line reference path (slow)")
+	prof := profileflags.Register(nil)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-workers N] [-no-memo] [-ber R] [-retry-budget N] [-degrade] [-ckpt-interval N] [-ckpt-dir D] [-crash-at N] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "usage: tecosim [-seed N] [-markdown] [-workers N] [-no-memo] [-coalesce=false] [-ber R] [-retry-budget N] [-degrade] [-ckpt-interval N] [-ckpt-dir D] [-crash-at N] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", experiments.IDs())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	// The process-wide default catches engines built outside the experiment
+	// generators (zz tools, future callers); Options.PerLine below covers
+	// the generators themselves.
+	core.SetPerLineDefault(!*coalesce)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -46,6 +54,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	tabs, err := experiments.ByIDWith(flag.Arg(0), experiments.Options{
 		Seed:         *seed,
 		BER:          *ber,
@@ -56,6 +69,7 @@ func main() {
 		CrashAt:      *crashAt,
 		Workers:      *workers,
 		NoMemo:       *noMemo,
+		PerLine:      !*coalesce,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,5 +81,9 @@ func main() {
 		} else {
 			t.Render(os.Stdout)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,76 @@
+package coherence
+
+// TransferRing is a preallocated, fixed-capacity trace buffer for link
+// crossings: its Record method is a TransferFunc, so it plugs straight into
+// Config.OnTransfer (or chains in front of another sink) and never
+// allocates after construction — the protocol replay over a multi-gigabyte
+// tensor stays allocation-free while still keeping the most recent
+// crossings inspectable for debugging and tests.
+type TransferRing struct {
+	buf   []Transfer
+	next  int
+	total int64
+}
+
+// NewTransferRing preallocates a ring holding the last n transfers (n >= 1).
+func NewTransferRing(n int) *TransferRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TransferRing{buf: make([]Transfer, 0, n)}
+}
+
+// Record stores one transfer, overwriting the oldest once the ring is full.
+// It is a TransferFunc.
+func (r *TransferRing) Record(tr Transfer) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, tr)
+	} else {
+		r.buf[r.next] = tr
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Chain returns a TransferFunc that records into the ring and then forwards
+// to sink (which may be nil).
+func (r *TransferRing) Chain(sink TransferFunc) TransferFunc {
+	if sink == nil {
+		return r.Record
+	}
+	return func(tr Transfer) {
+		r.Record(tr)
+		sink(tr)
+	}
+}
+
+// Total returns how many transfers were recorded over the ring's lifetime.
+func (r *TransferRing) Total() int64 { return r.total }
+
+// Len returns how many transfers are currently retained (<= capacity).
+func (r *TransferRing) Len() int { return len(r.buf) }
+
+// At returns the i-th retained transfer, oldest first; i must be < Len().
+func (r *TransferRing) At(i int) Transfer {
+	if len(r.buf) < cap(r.buf) {
+		return r.buf[i]
+	}
+	return r.buf[(r.next+i)%cap(r.buf)]
+}
+
+// AppendTo appends the retained transfers, oldest first, and returns the
+// extended slice. Passing a slice with spare capacity keeps this
+// allocation-free.
+func (r *TransferRing) AppendTo(dst []Transfer) []Transfer {
+	for i := 0; i < r.Len(); i++ {
+		dst = append(dst, r.At(i))
+	}
+	return dst
+}
+
+// Reset empties the ring, keeping its preallocated storage.
+func (r *TransferRing) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.total = 0
+}

@@ -1,0 +1,65 @@
+package coherence
+
+import (
+	"testing"
+
+	"teco/internal/mem"
+)
+
+func TestTransferRingOrderAndWrap(t *testing.T) {
+	r := NewTransferRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Transfer{Line: mem.LineAddr(i), Msg: MsgData})
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if got, want := r.At(i).Line, mem.LineAddr(i+2); got != want {
+			t.Errorf("At(%d).Line = %d, want %d", i, got, want)
+		}
+	}
+	out := r.AppendTo(nil)
+	if len(out) != 4 || out[0].Line != 2 || out[3].Line != 5 {
+		t.Errorf("AppendTo = %+v", out)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Errorf("after reset: len=%d total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestTransferRingRecordAllocs(t *testing.T) {
+	r := NewTransferRing(128)
+	tr := Transfer{Line: 7, From: CPU, To: Accelerator, Msg: MsgFlushData}
+	if avg := testing.AllocsPerRun(1000, func() { r.Record(tr) }); avg != 0 {
+		t.Errorf("Record allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestTransferRingAsSink drives a real domain with the ring chained in
+// front of a counting sink and checks both observe every crossing.
+func TestTransferRingAsSink(t *testing.T) {
+	amap := mem.NewMap()
+	region := amap.Allocate("p", mem.RegionGiantCache, 1024)
+	r := NewTransferRing(8)
+	var n int64
+	d := NewDomain(Config{
+		Mode:       Update,
+		AddrMap:    amap,
+		OnTransfer: r.Chain(func(Transfer) { n++ }),
+	})
+	for l := int64(0); l < 16; l++ {
+		d.Write(region.Base.Line()+mem.LineAddr(l), CPU)
+	}
+	total, _ := d.Transfers()
+	if r.Total() != total || n != total {
+		t.Errorf("ring total %d, sink %d, domain %d", r.Total(), n, total)
+	}
+	if r.Len() != 8 {
+		t.Errorf("retained %d, want 8", r.Len())
+	}
+}

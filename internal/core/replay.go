@@ -34,36 +34,67 @@ type ReplayStats struct {
 	Recovered int64
 }
 
+// wireScratch holds the per-replay reusable buffers for the functional wire
+// path, so the per-line loop runs allocation-free in steady state: the line
+// image, the aggregated payload, the encoded frame, the fault model's
+// corruption copy, and the decoded packet (whose payload capacity DecodeInto
+// recycles). One replay call owns one wireScratch; nothing escapes a
+// delivery except through explicit copies.
+type wireScratch struct {
+	line    []byte     // EncodeLineInto target (one cache line)
+	payload []byte     // AppendAggregate target
+	frame   []byte     // AppendEncode/AppendEncodeFramed target
+	corrupt []byte     // CorruptFrameReuse scratch
+	merged  []byte     // DisaggregateInto target (one cache line)
+	decoded cxl.Packet // DecodeInto/DecodeFramedInto target
+}
+
+func newWireScratch() *wireScratch {
+	return &wireScratch{
+		line:   make([]byte, mem.LineSize),
+		merged: make([]byte, mem.LineSize),
+	}
+}
+
 // wireDelivery runs one frame across the (possibly faulty) wire: encode with
 // the CRC trailer, corrupt per the fault model, decode. CRC failures are
 // retransmitted; a push that exhausts `budget` returns cxl.ErrCRC (the
 // caller poisons the line). On-demand fetches are critical-path — the
 // consumer cannot proceed without the data — so they retry until clean.
-func wireDelivery(pkt *cxl.Packet, fm *cxl.FaultModel, onDemand bool, retries *int64) (cxl.Packet, error) {
+// The decoded packet lives in ws.decoded and is valid until the next call.
+func (ws *wireScratch) wireDelivery(pkt *cxl.Packet, fm *cxl.FaultModel, onDemand bool, retries *int64) (*cxl.Packet, error) {
 	if fm == nil {
-		wire, err := pkt.Encode()
+		wire, err := pkt.AppendEncode(ws.frame[:0])
 		if err != nil {
-			return cxl.Packet{}, err
+			return nil, err
 		}
-		return cxl.Decode(wire)
+		ws.frame = wire
+		if err := cxl.DecodeInto(&ws.decoded, wire); err != nil {
+			return nil, err
+		}
+		return &ws.decoded, nil
 	}
-	frame, err := pkt.EncodeFramed()
+	frame, err := pkt.AppendEncodeFramed(ws.frame[:0])
 	if err != nil {
-		return cxl.Packet{}, err
+		return nil, err
 	}
+	ws.frame = frame
 	budget := fm.Config().RetryBudget
 	for attempt := 0; ; attempt++ {
-		wire, _ := fm.CorruptFrame(frame)
-		decoded, err := cxl.DecodeFramed(wire)
+		wire, flips := fm.CorruptFrameReuse(frame, ws.corrupt)
+		if flips > 0 {
+			ws.corrupt = wire
+		}
+		err := cxl.DecodeFramedInto(&ws.decoded, wire)
 		if err == nil {
-			return decoded, nil
+			return &ws.decoded, nil
 		}
 		if !errors.Is(err, cxl.ErrCRC) {
-			return cxl.Packet{}, err
+			return nil, err
 		}
 		*retries++
 		if !onDemand && attempt >= budget {
-			return cxl.Packet{}, err
+			return nil, err
 		}
 	}
 }
@@ -112,6 +143,8 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 	var stats ReplayStats
 	var cbErr error
 	var poisoned []mem.LineAddr
+	ws := newWireScratch()
+	stale := make([]byte, mem.LineSize)
 
 	dom := coherence.NewDomain(coherence.Config{
 		Mode:    mode,
@@ -129,19 +162,20 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 			line := int64(tr.Line - region.Base.Line())
 			// Frame the payload as a CXL packet and apply it to the
 			// device copy.
-			newLine := updated.EncodeLine(line)
+			newLine := updated.EncodeLineInto(line, ws.line)
 			var pkt cxl.Packet
 			if cfg.DBA && !cfg.Invalidation {
+				ws.payload = dba.AppendAggregate(ws.payload[:0], newLine, cfg.DirtyBytes)
 				pkt = cxl.Packet{
 					Addr:       tr.Line,
 					Aggregated: true,
 					DirtyBytes: uint8(cfg.DirtyBytes),
-					Payload:    dba.Aggregate(newLine, cfg.DirtyBytes),
+					Payload:    ws.payload,
 				}
 			} else {
 				pkt = cxl.Packet{Addr: tr.Line, Payload: newLine}
 			}
-			decoded, err := wireDelivery(&pkt, fm, tr.OnDemand, &stats.Retries)
+			decoded, err := ws.wireDelivery(&pkt, fm, tr.OnDemand, &stats.Retries)
 			if err != nil {
 				if errors.Is(err, cxl.ErrCRC) {
 					// Retry budget exhausted: the line arrives poisoned
@@ -155,8 +189,8 @@ func ReplayParameterUpdate(old, updated *tensor.Tensor, cfg Config) (*tensor.Ten
 			}
 			stats.PayloadBytes += int64(decoded.PayloadLen())
 			if decoded.Aggregated {
-				stale := device.EncodeLine(line)
-				merged := dba.Disaggregate(stale, decoded.Payload, int(decoded.DirtyBytes))
+				device.EncodeLineInto(line, stale)
+				merged := dba.DisaggregateInto(ws.merged, stale, decoded.Payload, int(decoded.DirtyBytes))
 				device.DecodeLine(line, merged)
 			} else {
 				device.DecodeLine(line, decoded.Payload)
@@ -239,6 +273,7 @@ func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, Repl
 	var stats ReplayStats
 	var cbErr error
 	var poisoned []mem.LineAddr
+	ws := newWireScratch()
 	dom := coherence.NewDomain(coherence.Config{
 		Mode:    mode,
 		AddrMap: amap,
@@ -253,8 +288,8 @@ func ReplayGradientFlush(grads *tensor.Tensor, cfg Config) (*tensor.Tensor, Repl
 				stats.FlushData++
 			}
 			line := int64(tr.Line - region.Base.Line())
-			pkt := cxl.Packet{Addr: tr.Line, Payload: grads.EncodeLine(line)}
-			decoded, err := wireDelivery(&pkt, fm, tr.OnDemand, &stats.Retries)
+			pkt := cxl.Packet{Addr: tr.Line, Payload: grads.EncodeLineInto(line, ws.line)}
+			decoded, err := ws.wireDelivery(&pkt, fm, tr.OnDemand, &stats.Retries)
 			if err != nil {
 				if errors.Is(err, cxl.ErrCRC) {
 					stats.Poisoned++

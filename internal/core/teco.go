@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"teco/internal/cpusim"
 	"teco/internal/cxl"
@@ -41,7 +42,25 @@ type Config struct {
 	// aggregated packet re-pays the merge-header round trip), the step
 	// falls back to full-line transfers.
 	Degrade bool
+	// PerLine disables the flow-coalescing fast path: every cache line
+	// becomes its own event on the stream simulator instead of a
+	// closed-form run segment. Results are bit-identical in both modes
+	// (asserted by coalesce_test.go); per-line exists as the reference
+	// path and costs orders of magnitude more wall clock. The zero value
+	// (coalesced) can be overridden process-wide with SetPerLineDefault,
+	// which is how the tecosim -coalesce=false flag reaches the engines
+	// the experiment generators build internally.
+	PerLine bool
 }
+
+// perLineDefault is the process-wide PerLine override (see SetPerLineDefault).
+var perLineDefault atomic.Bool
+
+// SetPerLineDefault makes every subsequently built Engine default to the
+// per-line reference path when v is true. An explicit Config.PerLine still
+// wins; the default only lifts the zero value. cmd/tecosim sets it from
+// -coalesce=false before any experiment runs.
+func SetPerLineDefault(v bool) { perLineDefault.Store(v) }
 
 // Variant returns the phases.Variant this config corresponds to.
 func (c Config) Variant() phases.Variant {
@@ -79,6 +98,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.PerLine = cfg.PerLine || perLineDefault.Load()
 	return &Engine{
 		GPU:           gpusim.V100(),
 		CPU:           cpusim.Xeon6120(),
@@ -156,6 +176,8 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int, useDBA bool) phases.Ste
 		mustInject(up, upCfg)
 		mustInject(down, downCfg)
 	}
+	ups := cxl.NewStream(up, e.Config.PerLine)
+	downs := cxl.NewStream(down, e.Config.PerLine)
 
 	fwd := e.GPU.ForwardTime(m, batch)
 	bwd := e.GPU.BackwardTime(m, batch)
@@ -167,7 +189,7 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int, useDBA bool) phases.Ste
 	// never aggregate, so the wire packet is a full line.
 	fullWire := cxl.WirePacketBytes(0)
 	for _, ch := range e.GPU.GradientSchedule(m, batch) {
-		up.SendFlow(bwdStart+ch.ReadyAt, int(ch.Bytes), 0, fullWire, false)
+		ups.PushRun(bwdStart+ch.ReadyAt, int(ch.Bytes), mem.LinesIn(ch.Bytes), 0, fullWire, false)
 	}
 	// CXLFENCE after the last gradient writeback (Fig 6: "after the
 	// buffer is full, CXLFENCE() must be called").
@@ -193,7 +215,7 @@ func (e *Engine) stepUpdate(m modelzoo.Model, batch int, useDBA bool) phases.Ste
 	}
 	for _, ch := range e.CPU.UpdateSchedule(m) {
 		payload := ch.Bytes * int64(perLine) / mem.LineSize
-		down.SendFlow(clipEnd+ch.ReadyAt, int(payload), extra, paramWire, useDBA)
+		downs.PushRun(clipEnd+ch.ReadyAt, int(payload), mem.LinesIn(ch.Bytes), extra, paramWire, useDBA)
 	}
 	// One CXLFENCE after all parameters are updated (Listing 1: inside
 	// optimizer.step()).
@@ -279,6 +301,8 @@ func (e *Engine) stepInvalidation(m modelzoo.Model, batch int) phases.StepResult
 		mustInject(link, pCfg)
 		mustInject(glink, gCfg)
 	}
+	links := cxl.NewStream(link, e.Config.PerLine)
+	glinks := cxl.NewStream(glink, e.Config.PerLine)
 
 	fwd := e.GPU.ForwardTime(m, batch)
 	bwd := e.GPU.BackwardTime(m, batch)
@@ -289,9 +313,9 @@ func (e *Engine) stepInvalidation(m modelzoo.Model, batch int) phases.StepResult
 	fullWire := cxl.WirePacketBytes(0)
 	lines := mem.LinesIn(m.ParamBytes())
 	invalMsgs := sim.DurationForBytes(lines*cxl.MsgBytes, link.BytesPerSecond())
-	pf := link.SendFlow(0, int(m.ParamBytes()), 0, fullWire, false)
+	pf := links.PushRun(0, int(m.ParamBytes()), lines, 0, fullWire, false)
 	paramFetch := pf.Done
-	gf := glink.SendFlow(0, int(m.GradBytes()), 0, fullWire, false)
+	gf := glinks.PushRun(0, int(m.GradBytes()), mem.LinesIn(m.GradBytes()), 0, fullWire, false)
 	gradFetch := gf.Done
 
 	clip := e.CPU.ClipTime(m.Params)

@@ -51,25 +51,41 @@ var ErrCRC = errors.New("cxl: CRC mismatch")
 // EncodeFramed serializes the packet with a trailing 2-byte CRC over the
 // wire image, as the link layer would frame it into CRC-protected flits.
 func (p *Packet) EncodeFramed() ([]byte, error) {
-	wire, err := p.Encode()
+	return p.AppendEncodeFramed(nil)
+}
+
+// AppendEncodeFramed is EncodeFramed into dst's spare capacity — the
+// allocation-free form for loops that frame one packet per cache line.
+func (p *Packet) AppendEncodeFramed(dst []byte) ([]byte, error) {
+	base := len(dst)
+	dst, err := p.AppendEncode(dst)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(wire)+2)
-	copy(out, wire)
-	binary.LittleEndian.PutUint16(out[len(wire):], CRC16(wire))
-	return out, nil
+	var tail [2]byte
+	binary.LittleEndian.PutUint16(tail[:], CRC16(dst[base:]))
+	return append(dst, tail[:]...), nil
 }
 
 // DecodeFramed verifies the trailing CRC and decodes the packet. A CRC
 // failure returns ErrCRC: the receiver must NAK, never deliver the data.
 func DecodeFramed(buf []byte) (Packet, error) {
+	var p Packet
+	err := DecodeFramedInto(&p, buf)
+	return p, err
+}
+
+// DecodeFramedInto is DecodeFramed reusing p's payload capacity (see
+// DecodeInto). p is zeroed on any error.
+func DecodeFramedInto(p *Packet, buf []byte) error {
 	if len(buf) < 2 {
-		return Packet{}, ErrShortPacket
+		*p = Packet{}
+		return ErrShortPacket
 	}
 	body, tail := buf[:len(buf)-2], buf[len(buf)-2:]
 	if CRC16(body) != binary.LittleEndian.Uint16(tail) {
-		return Packet{}, ErrCRC
+		*p = Packet{}
+		return ErrCRC
 	}
-	return Decode(body)
+	return DecodeInto(p, body)
 }

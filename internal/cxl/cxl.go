@@ -141,16 +141,7 @@ func (l *Link) Send(ready sim.Time, n int, extra sim.Time) (admit, done sim.Time
 // packets still failing after the retry budget are delivered poisoned.
 // On a pristine link the result is identical to Send.
 func (l *Link) SendFlow(ready sim.Time, n int, extra sim.Time, pktBytes int, aggregated bool) FlowResult {
-	oldest := l.finishRing[l.ringPos]
-	admit := ready
-	if oldest > admit {
-		admit = oldest
-		l.stall += oldest - ready
-	}
-	start := admit
-	if l.freeAt > start {
-		start = l.freeAt
-	}
+	admit, start := l.admitRun(ready)
 	svc := l.ServiceTime(n, extra)
 	done := start + svc
 	res := FlowResult{Admit: admit, Packets: 1}
@@ -242,13 +233,39 @@ func (l *Link) SendFlow(ready sim.Time, n int, extra sim.Time, pktBytes int, agg
 	}
 
 	res.Done = done
+	l.commitRun(done, svc, n)
+	return res
+}
+
+// admitRun applies pending-queue admission for one run: the producer is
+// back-pressured until the oldest of the last queueCap completions has
+// drained, and serialization cannot start before the link is free. Both the
+// coalesced closed-form path (SendFlow) and the per-line stream simulation
+// share this, which is one half of their bit-identity.
+func (l *Link) admitRun(ready sim.Time) (admit, start sim.Time) {
+	oldest := l.finishRing[l.ringPos]
+	admit = ready
+	if oldest > admit {
+		admit = oldest
+		l.stall += oldest - ready
+	}
+	start = admit
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	return admit, start
+}
+
+// commitRun records one completed run in the link state — the other half of
+// the coalesced/per-line bit-identity: regardless of how `done` was derived
+// (closed form or the last line event), the link advances identically.
+func (l *Link) commitRun(done, svc sim.Time, n int) {
 	l.freeAt = done
 	l.busy += svc
 	l.finishRing[l.ringPos] = done
 	l.ringPos = (l.ringPos + 1) % l.queueCap
 	l.bytesSent += int64(n)
 	l.packets++
-	return res
 }
 
 // SendMsg enqueues a data-less protocol message.
@@ -358,19 +375,29 @@ var ErrPayloadMismatch = errors.New("cxl: payload length does not match flags")
 // Encode serializes the packet. A payload length inconsistent with the
 // header flags is a caller error reported as ErrPayloadMismatch.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(nil)
+}
+
+// AppendEncode serializes the packet into dst's spare capacity (growing it
+// only when needed) and returns the extended slice — the allocation-free
+// form the functional replay path uses to reuse one flit buffer across
+// millions of lines.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
 	if len(p.Payload) != p.PayloadLen() {
 		return nil, fmt.Errorf("%w: payload %dB, want %dB", ErrPayloadMismatch, len(p.Payload), p.PayloadLen())
 	}
-	buf := make([]byte, headerSize+len(p.Payload))
+	base := len(dst)
+	var hdr [headerSize]byte
 	// 48-bit line address in the low 6 bytes, flags+dirty in byte 7.
-	binary.LittleEndian.PutUint64(buf, uint64(p.Addr)&((1<<48)-1))
+	binary.LittleEndian.PutUint64(hdr[:], uint64(p.Addr)&((1<<48)-1))
 	var fl byte
 	if p.Aggregated {
 		fl = flagAggregated | (p.DirtyBytes & 0x7)
 	}
-	buf[7] = fl
-	copy(buf[headerSize:], p.Payload)
-	return buf, nil
+	hdr[7] = fl
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, p.Payload...)
+	return dst[:base+headerSize+len(p.Payload)], nil
 }
 
 // ErrShortPacket reports a truncated packet buffer.
@@ -378,24 +405,37 @@ var ErrShortPacket = errors.New("cxl: short packet")
 
 // Decode parses a packet from buf.
 func Decode(buf []byte) (Packet, error) {
-	if len(buf) < headerSize {
-		return Packet{}, ErrShortPacket
-	}
 	var p Packet
+	if err := DecodeInto(&p, buf); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// DecodeInto parses a packet from buf into p, reusing p.Payload's capacity
+// when it suffices so a receive loop decodes without per-packet allocation.
+// On error p is left zeroed.
+func DecodeInto(p *Packet, buf []byte) error {
+	payload := p.Payload[:0]
+	*p = Packet{}
+	if len(buf) < headerSize {
+		return ErrShortPacket
+	}
 	p.Addr = mem.LineAddr(binary.LittleEndian.Uint64(buf[:8]) & ((1 << 48) - 1))
 	fl := buf[7]
 	if fl&flagAggregated != 0 {
 		p.Aggregated = true
 		p.DirtyBytes = fl & 0x7
 		if p.DirtyBytes == 0 || p.DirtyBytes > 4 {
-			return Packet{}, fmt.Errorf("cxl: invalid dirty-byte length %d", p.DirtyBytes)
+			*p = Packet{}
+			return fmt.Errorf("cxl: invalid dirty-byte length %d", p.DirtyBytes)
 		}
 	}
 	want := p.PayloadLen()
 	if len(buf) < headerSize+want {
-		return Packet{}, ErrShortPacket
+		*p = Packet{}
+		return ErrShortPacket
 	}
-	p.Payload = make([]byte, want)
-	copy(p.Payload, buf[headerSize:headerSize+want])
-	return p, nil
+	p.Payload = append(payload, buf[headerSize:headerSize+want]...)
+	return nil
 }

@@ -286,13 +286,20 @@ func (f *FaultModel) draw(k int64, p float64) int64 {
 // It returns the (possibly copied and corrupted) frame and the flip count;
 // with zero flips the input slice is returned unmodified.
 func (f *FaultModel) CorruptFrame(wire []byte) ([]byte, int) {
+	return f.CorruptFrameReuse(wire, nil)
+}
+
+// CorruptFrameReuse is CorruptFrame with a caller-owned scratch buffer for
+// the corrupted copy: when flips occur the copy lands in scratch's capacity
+// instead of a fresh allocation. The RNG draw sequence is identical to
+// CorruptFrame's, so the two forms are interchangeable mid-run.
+func (f *FaultModel) CorruptFrameReuse(wire, scratch []byte) ([]byte, int) {
 	bits := int64(len(wire)) * 8
 	k := f.draw(bits, f.cfg.BER)
 	if k == 0 {
 		return wire, 0
 	}
-	cp := make([]byte, len(wire))
-	copy(cp, wire)
+	cp := append(scratch[:0], wire...)
 	for i := int64(0); i < k; i++ {
 		b := f.rng.Int63n(bits)
 		cp[b/8] ^= 1 << (b % 8)

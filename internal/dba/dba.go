@@ -79,18 +79,24 @@ func (r Register) PayloadBytes() int {
 // concatenate them. The paper implements this with simple logic gates; the
 // Go version is the functional equivalent.
 func Aggregate(line []byte, n int) []byte {
+	return AppendAggregate(make([]byte, 0, WordsPerLine*n), line, n)
+}
+
+// AppendAggregate is Aggregate writing into dst's spare capacity, for
+// callers that aggregate one line per iteration and want a steady-state
+// zero-allocation loop.
+func AppendAggregate(dst, line []byte, n int) []byte {
 	if len(line) != mem.LineSize {
 		panic(fmt.Sprintf("dba: aggregate needs a %d-byte line, got %d", mem.LineSize, len(line)))
 	}
 	if n <= 0 || n > WordSize {
 		panic(fmt.Sprintf("dba: invalid dirty-byte length %d", n))
 	}
-	out := make([]byte, 0, WordsPerLine*n)
 	for w := 0; w < WordsPerLine; w++ {
 		base := w * WordSize
-		out = append(out, line[base:base+n]...)
+		dst = append(dst, line[base:base+n]...)
 	}
-	return out
+	return dst
 }
 
 // Disaggregate implements the accelerator-side Disaggregator (Fig 7b): it
@@ -110,12 +116,34 @@ func Disaggregate(old, payload []byte, n int) []byte {
 	if len(payload) != WordsPerLine*n {
 		panic(fmt.Sprintf("dba: payload %dB, want %dB", len(payload), WordsPerLine*n))
 	}
-	out := make([]byte, mem.LineSize)
-	copy(out, old)
-	for w := 0; w < WordsPerLine; w++ {
-		copy(out[w*WordSize:w*WordSize+n], payload[w*n:(w+1)*n])
+	return disaggregateInto(make([]byte, mem.LineSize), old, payload, n)
+}
+
+// DisaggregateInto is Disaggregate reconstructing the line into dst (which
+// must hold a full cache line), avoiding the per-line allocation. dst may
+// not alias old.
+func DisaggregateInto(dst, old, payload []byte, n int) []byte {
+	if len(old) != mem.LineSize {
+		panic(fmt.Sprintf("dba: disaggregate needs a %d-byte line, got %d", mem.LineSize, len(old)))
 	}
-	return out
+	if n <= 0 || n > WordSize {
+		panic(fmt.Sprintf("dba: invalid dirty-byte length %d", n))
+	}
+	if len(payload) != WordsPerLine*n {
+		panic(fmt.Sprintf("dba: payload %dB, want %dB", len(payload), WordsPerLine*n))
+	}
+	if len(dst) != mem.LineSize {
+		panic(fmt.Sprintf("dba: disaggregate destination %dB, want %d", len(dst), mem.LineSize))
+	}
+	return disaggregateInto(dst, old, payload, n)
+}
+
+func disaggregateInto(dst, old, payload []byte, n int) []byte {
+	copy(dst, old)
+	for w := 0; w < WordsPerLine; w++ {
+		copy(dst[w*WordSize:w*WordSize+n], payload[w*n:(w+1)*n])
+	}
+	return dst
 }
 
 // Merge applies Disaggregate in place on dst.

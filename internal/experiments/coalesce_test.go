@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"teco/internal/core"
+)
+
+// TestTecoEnginePerLinePlumbing checks that the option's coalescing
+// selection reaches every engine the generators build: opt.PerLine flips the
+// engine to the per-line reference path, an explicit config wins either way,
+// and the default stays the coalesced fast path.
+func TestTecoEnginePerLinePlumbing(t *testing.T) {
+	if e := tecoEngine(Options{}, core.Config{}); e.Config.PerLine {
+		t.Error("zero options should build a coalesced engine")
+	}
+	if e := tecoEngine(Options{PerLine: true}, core.Config{}); !e.Config.PerLine {
+		t.Error("Options.PerLine did not reach the engine config")
+	}
+	if e := tecoEngine(Options{}, core.Config{PerLine: true}); !e.Config.PerLine {
+		t.Error("explicit Config.PerLine was dropped")
+	}
+}
+
+// TestFaultSweepBitIdenticalPerLine regenerates the fault-sweep table on the
+// per-line reference path and requires it byte-identical to the coalesced
+// table — the experiments-level counterpart of the core cross-check suite,
+// covering the fault boundary (runs handed whole to the retry engine) and
+// the clean full-size cells in one grid. Skipped under -short: the clean
+// per-line cells simulate every cache line of Bert-large.
+func TestFaultSweepBitIdenticalPerLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clean per-line cells simulate every cache line of Bert-large")
+	}
+	opt := Options{Seed: 7, BER: 1e-5}
+	co := FaultSweep(opt)
+	opt.PerLine = true
+	pl := FaultSweep(opt)
+	if !reflect.DeepEqual(co, pl) {
+		t.Errorf("fault-sweep tables differ across modes:\ncoalesced: %+v\nper-line:  %+v", co, pl)
+	}
+}

@@ -40,6 +40,10 @@ type Options struct {
 	// do not change; only wall-clock does. The benchmark harness uses it
 	// to measure the memoization win.
 	NoMemo bool
+	// PerLine runs every timing engine on the per-line reference path
+	// instead of the flow-coalescing fast path (tecosim -coalesce=false).
+	// Tables are bit-identical in both modes; only wall-clock differs.
+	PerLine bool
 }
 
 // validateRecovery rejects recovery-sweep options before any cell runs.
@@ -119,6 +123,7 @@ func FaultSweep(opt Options) *Table {
 			DBA:        true,
 			DirtyBytes: db,
 			Degrade:    opt.Degrade,
+			PerLine:    opt.PerLine,
 			Faults: cxl.FaultConfig{
 				Seed:        opt.Seed,
 				BER:         ber,

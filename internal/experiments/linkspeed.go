@@ -37,7 +37,7 @@ func LinkSpeedSweepWith(opt Options) *Table {
 		g := gens[i]
 		base := zero.NewEngine()
 		base.LinkBandwidth = g.raw * modelzoo.BaselineDMAEfficiency
-		teco := core.MustEngine(core.Config{DBA: true})
+		teco := tecoEngine(opt, core.Config{DBA: true})
 		teco.LinkBandwidth = g.raw * modelzoo.CXLEfficiency
 		rb := base.Step(m, 4)
 		rt := teco.Step(m, 4)

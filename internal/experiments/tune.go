@@ -33,8 +33,8 @@ func TuneActAfterStepsWith(opt Options) *Table {
 	}
 	m := modelzoo.GPT2()
 	base := zero.NewEngine().Step(m, 4)
-	cxlStep := core.MustEngine(core.Config{}).Step(m, 4).Total()
-	dbaStep := core.MustEngine(core.Config{DBA: true}).Step(m, 4).Total()
+	cxlStep := tecoEngine(opt, core.Config{}).Step(m, 4).Total()
+	dbaStep := tecoEngine(opt, core.Config{DBA: true}).Step(m, 4).Total()
 
 	type point struct {
 		act            int

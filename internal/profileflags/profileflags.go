@@ -1,0 +1,89 @@
+// Package profileflags registers the standard pprof/trace flags
+// (-cpuprofile, -memprofile, -trace) on a flag set, so every command in the
+// repo exposes the same profiling surface. See DESIGN.md "Profiling
+// workflow" for how the profiles feed a perf investigation.
+package profileflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the destinations parsed from the flags; empty strings mean
+// the corresponding profile is disabled.
+type Config struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register declares -cpuprofile, -memprofile and -trace on fs (the default
+// command-line flag set when nil) and returns the config the parsed values
+// land in.
+func Register(fs *flag.FlagSet) *Config {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &Config{}
+	fs.StringVar(&c.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+	return c
+}
+
+// Start begins the requested profiles and returns a stop function that
+// flushes them; call it exactly once (defer it right after a successful
+// Start). The heap profile is captured at stop time, after a GC, so it
+// reflects live steady-state allocations.
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if c.CPU != "" {
+		if cpuF, err = os.Create(c.CPU); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		if traceF, err = os.Create(c.Trace); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if c.Mem == "" {
+			return nil
+		}
+		f, err := os.Create(c.Mem)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // report live objects, not garbage awaiting collection
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("heap profile: %w", err)
+		}
+		return f.Close()
+	}, nil
+}

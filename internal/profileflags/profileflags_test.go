@@ -1,0 +1,53 @@
+package profileflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterAndStart(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", heap, "-trace", tr}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	s := 0
+	for i := 0; i < 1e6; i++ {
+		s += i
+	}
+	_ = s
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap, tr} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestDisabledProfilesNoop(t *testing.T) {
+	c := &Config{}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

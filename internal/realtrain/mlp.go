@@ -20,6 +20,36 @@ type MLP struct {
 	// Params is the flat FP32 parameter vector:
 	// [Emb (Vocab*Dim) | W1 (Dim*Hidden) | b1 | W2 (Hidden*Classes) | b2].
 	Params []float32
+
+	// sc holds the preallocated forward/backward work buffers, so the
+	// per-example hot loops run allocation-free. Because of it an MLP is
+	// not safe for concurrent use — each trainer owns its own instance.
+	sc *mlpScratch
+}
+
+// mlpScratch is the per-instance buffer set for one forward/backward pass.
+// Slices returned by Forward (probs) alias these buffers and are valid
+// until the next call on the same MLP.
+type mlpScratch struct {
+	x, h, z, probs []float32
+	dz, dh, dx     []float32
+	act            []int // ReLU-active hidden units, compacted per example
+}
+
+func (m *MLP) scratch() *mlpScratch {
+	if m.sc == nil {
+		m.sc = &mlpScratch{
+			x:     make([]float32, m.Dim),
+			h:     make([]float32, m.Hidden),
+			z:     make([]float32, m.Classes),
+			probs: make([]float32, m.Classes),
+			dz:    make([]float32, m.Classes),
+			dh:    make([]float32, m.Hidden),
+			dx:    make([]float32, m.Dim),
+			act:   make([]int, 0, m.Hidden),
+		}
+	}
+	return m.sc
 }
 
 // NewMLP builds a model with Kaiming-style random initialization.
@@ -62,10 +92,12 @@ func (m *MLP) views(p []float32) (emb, w1, b1, w2, b2 []float32) {
 	return
 }
 
-// embed computes the mean embedding of a token bag.
-func (m *MLP) embed(params []float32, tok []int) []float32 {
+// embed computes the mean embedding of a token bag into x.
+func (m *MLP) embed(params []float32, tok []int, x []float32) []float32 {
 	emb, _, _, _, _ := m.views(params)
-	x := make([]float32, m.Dim)
+	for d := range x {
+		x[d] = 0
+	}
 	for _, t := range tok {
 		base := t * m.Dim
 		for d := 0; d < m.Dim; d++ {
@@ -80,38 +112,55 @@ func (m *MLP) embed(params []float32, tok []int) []float32 {
 }
 
 // Forward computes class probabilities for one example using the given
-// parameter vector (which may be the DBA-merged accelerator copy).
+// parameter vector (which may be the DBA-merged accelerator copy). The
+// returned slice aliases the MLP's scratch buffers and is valid until the
+// next call on this instance.
 func (m *MLP) Forward(params []float32, tok []int) []float32 {
 	probs, _, _ := m.forwardHidden(params, tok)
 	return probs
 }
 
+// forwardHidden runs the forward pass with both dense layers iterated
+// row-major (outer loop over the weight matrix's contiguous rows). Each
+// accumulator still receives its additions in the original index order —
+// h[j] over ascending d, z[c] over ascending j — so the FP32 results are
+// bit-identical to the naive column-major loops, just without the
+// Hidden-strided (resp. Classes-strided) weight walks.
 func (m *MLP) forwardHidden(params []float32, tok []int) (probs, hidden, x []float32) {
 	_, w1, b1, w2, b2 := m.views(params)
-	x = m.embed(params, tok)
-	h := make([]float32, m.Hidden)
-	for j := 0; j < m.Hidden; j++ {
-		s := b1[j]
-		for d := 0; d < m.Dim; d++ {
-			s += x[d] * w1[d*m.Hidden+j]
+	sc := m.scratch()
+	x = m.embed(params, tok, sc.x)
+	h := sc.h
+	copy(h, b1)
+	for d := 0; d < m.Dim; d++ {
+		xd := x[d]
+		row := w1[d*m.Hidden : (d+1)*m.Hidden]
+		for j, w := range row {
+			h[j] += xd * w
 		}
+	}
+	for j, s := range h {
 		if s < 0 {
-			s = 0
+			h[j] = 0
 		}
-		h[j] = s
 	}
-	z := make([]float32, m.Classes)
-	for c := 0; c < m.Classes; c++ {
-		s := b2[c]
-		for j := 0; j < m.Hidden; j++ {
-			s += h[j] * w2[j*m.Classes+c]
+	z := sc.z
+	copy(z, b2)
+	for j := 0; j < m.Hidden; j++ {
+		hj := h[j]
+		row := w2[j*m.Classes : (j+1)*m.Classes]
+		for c, w := range row {
+			z[c] += hj * w
 		}
-		z[c] = s
 	}
-	return softmax(z), h, x
+	return softmaxInto(sc.probs, z), h, x
 }
 
 func softmax(z []float32) []float32 {
+	return softmaxInto(make([]float32, len(z)), z)
+}
+
+func softmaxInto(out, z []float32) []float32 {
 	maxZ := z[0]
 	for _, v := range z[1:] {
 		if v > maxZ {
@@ -119,7 +168,6 @@ func softmax(z []float32) []float32 {
 		}
 	}
 	var sum float64
-	out := make([]float32, len(z))
 	for i, v := range z {
 		e := math.Exp(float64(v - maxZ))
 		out[i] = float32(e)
@@ -141,6 +189,7 @@ func (m *MLP) LossAndGrad(params []float32, ds *Dataset, batch []int, grads []fl
 	}
 	gemb, gw1, gb1, gw2, gb2 := m.views(grads)
 	_, w1, _, w2, _ := m.views(params)
+	sc := m.scratch()
 	var loss float64
 	inv := float32(1.0 / float64(len(batch)))
 	for _, idx := range batch {
@@ -153,34 +202,54 @@ func (m *MLP) LossAndGrad(params []float32, ds *Dataset, batch []int, grads []fl
 		}
 		loss += -math.Log(p)
 		// dz = probs - onehot(y), scaled by 1/B.
-		dz := make([]float32, m.Classes)
+		dz := sc.dz
 		for c := range dz {
 			dz[c] = probs[c] * inv
 		}
 		dz[y] -= inv
-		// W2, b2 gradients and hidden backprop.
-		dh := make([]float32, m.Hidden)
+		// W2, b2 gradients and hidden backprop (contiguous W2 rows).
+		dh := sc.dh
 		for j := 0; j < m.Hidden; j++ {
 			hj := h[j]
-			for c := 0; c < m.Classes; c++ {
-				gw2[j*m.Classes+c] += hj * dz[c]
-				dh[j] += w2[j*m.Classes+c] * dz[c]
+			gw2row := gw2[j*m.Classes : (j+1)*m.Classes]
+			w2row := w2[j*m.Classes : (j+1)*m.Classes]
+			var s float32
+			for c, dzc := range dz {
+				gw2row[c] += hj * dzc
+				s += w2row[c] * dzc
 			}
+			dh[j] = s
 		}
 		for c := 0; c < m.Classes; c++ {
 			gb2[c] += dz[c]
 		}
-		// ReLU gate, then W1, b1, and the embedding rows.
-		dx := make([]float32, m.Dim)
+		// ReLU gate: compact the active hidden units once, then walk W1
+		// row-major. Every accumulator keeps its original addition order —
+		// gw1[d*H+j] receives exactly one term per example and dx[d] sums
+		// over the active j in ascending order either way — so the
+		// interchange is bit-identical to the j-outer strided loop.
+		act := sc.act[:0]
 		for j := 0; j < m.Hidden; j++ {
 			if h[j] <= 0 {
 				continue
 			}
 			gb1[j] += dh[j]
-			for d := 0; d < m.Dim; d++ {
-				gw1[d*m.Hidden+j] += x[d] * dh[j]
-				dx[d] += w1[d*m.Hidden+j] * dh[j]
+			act = append(act, j)
+		}
+		sc.act = act
+		dx := sc.dx
+		for d := 0; d < m.Dim; d++ {
+			base := d * m.Hidden
+			gw1row := gw1[base : base+m.Hidden]
+			w1row := w1[base : base+m.Hidden]
+			xd := x[d]
+			var s float32
+			for _, j := range act {
+				dhj := dh[j]
+				gw1row[j] += xd * dhj
+				s += w1row[j] * dhj
 			}
+			dx[d] = s
 		}
 		tokInv := float32(1.0 / float64(len(tok)))
 		for _, t := range tok {

@@ -72,12 +72,28 @@ func DurationForBytes(n int64, bytesPerSecond float64) Time {
 	return FromSeconds(float64(n) / bytesPerSecond)
 }
 
+// Handler is the closure-free form of an event callback. Hot paths that
+// schedule millions of events (the per-line stream simulator) implement it
+// on a long-lived struct and schedule with AtHandler/AfterHandler, which
+// recycle the Event through the engine's free list: steady-state scheduling
+// then performs zero allocations (asserted by TestPooledSchedulingAllocs).
+type Handler interface {
+	// Fire is invoked when the event's time arrives; now is the firing
+	// time. The handler may schedule further events.
+	Fire(now Time)
+}
+
 // Event is a scheduled callback.
 type Event struct {
 	at    Time
 	seq   uint64 // tie-breaker: FIFO among simultaneous events
 	fn    func()
-	index int // heap index, -1 when popped/cancelled
+	h     Handler // set instead of fn for pooled events
+	index int     // heap index, -1 when popped/cancelled
+	// pooled events return to the engine free list when they fire; they
+	// are linked through next while free.
+	pooled bool
+	next   *Event
 }
 
 // Cancelled reports whether the event was removed before firing.
@@ -124,6 +140,8 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+	// free is the head of the pooled-event free list (see AtHandler).
+	free *Event
 }
 
 // New returns an empty engine at time zero.
@@ -158,6 +176,35 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// AtHandler schedules h.Fire at absolute time t on a pooled event. The event
+// is recycled into the engine's free list when it fires, so steady-state
+// scheduling allocates nothing; because the event's lifetime ends inside
+// Step, no handle is returned and pooled events cannot be cancelled. Like
+// At, scheduling in the past panics.
+func (e *Engine) AtHandler(t Time, h Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{pooled: true}
+	}
+	ev.at, ev.seq, ev.h = t, e.seq, h
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// AfterHandler schedules h.Fire at now+d on a pooled event.
+func (e *Engine) AfterHandler(d Time, h Handler) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtHandler(e.now+d, h)
+}
+
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -177,6 +224,16 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*Event)
 	e.now = ev.at
 	e.fired++
+	if ev.pooled {
+		// Recycle before firing so the handler can reschedule without
+		// growing the pool.
+		h, at := ev.h, ev.at
+		ev.h = nil
+		ev.next = e.free
+		e.free = ev
+		h.Fire(at)
+		return true
+	}
 	ev.fn()
 	return true
 }

@@ -1,0 +1,71 @@
+// Package streambench is the shared measurement core for the stream-
+// simulator microbenchmark: cmd/benchflow records the numbers in
+// BENCH_flow.json and cmd/perfgate enforces them against the checked-in
+// baseline. Keeping one definition of "the stream microbenchmark" means the
+// gate guards exactly what the report shows.
+package streambench
+
+import (
+	"testing"
+
+	"teco/internal/cxl"
+	"teco/internal/sim"
+)
+
+// RunLines is the run length of the benchmark workload: one homogeneous
+// burst of 1024 cache lines (a 64KiB layer chunk), pushed back-to-back.
+const RunLines = 1024
+
+// RunBytes is the payload carried by one benchmark run.
+const RunBytes = RunLines * 64
+
+// Result is one measured configuration of the microbenchmark.
+type Result struct {
+	// NsPerOp is nanoseconds per pushed run (RunLines lines).
+	NsPerOp int64 `json:"ns_per_op"`
+	// NsPerLine is NsPerOp spread over the run's cache lines.
+	NsPerLine float64 `json:"ns_per_line"`
+	// AllocsPerOp is heap allocations per pushed run.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// run executes the microbenchmark in the requested mode via
+// testing.Benchmark (so iteration-count calibration matches `go test
+// -bench`). A fresh link+stream per measurement keeps results independent.
+func run(perLine bool) Result {
+	r := testing.Benchmark(func(b *testing.B) {
+		link := cxl.NewLink(sim.New(), 0, 0)
+		s := cxl.NewStream(link, perLine)
+		// Warm the stream's event pool so steady state is measured.
+		s.PushRun(0, RunBytes, RunLines, 0, 0, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PushRun(0, RunBytes, RunLines, 0, 0, false)
+		}
+	})
+	return Result{
+		NsPerOp:     r.NsPerOp(),
+		NsPerLine:   float64(r.NsPerOp()) / RunLines,
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// MeasurePerLine benchmarks the per-line reference path.
+func MeasurePerLine() Result { return run(true) }
+
+// MeasureCoalesced benchmarks the flow-coalescing fast path.
+func MeasureCoalesced() Result { return run(false) }
+
+// Best returns the fastest of n repeated measurements — the standard
+// noise-rejection for a shared machine (slowdowns are interference, never
+// the code being "luckily" fast).
+func Best(measure func() Result, n int) Result {
+	best := measure()
+	for i := 1; i < n; i++ {
+		if r := measure(); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}

@@ -70,11 +70,23 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 // EncodeLine serializes elements [16*line, 16*line+16) into a 64-byte
 // little-endian cache-line image, zero-padding past the end of the tensor.
 func (t *Tensor) EncodeLine(line int64) []byte {
-	buf := make([]byte, mem.LineSize)
+	return t.EncodeLineInto(line, make([]byte, mem.LineSize))
+}
+
+// EncodeLineInto is EncodeLine writing into a caller-owned 64-byte buffer
+// (returned for convenience), for per-line loops that must not allocate.
+// Bytes past the end of the tensor are zeroed, matching a fresh buffer.
+func (t *Tensor) EncodeLineInto(line int64, buf []byte) []byte {
+	if len(buf) != mem.LineSize {
+		panic(fmt.Sprintf("tensor: line buffer %dB", len(buf)))
+	}
 	base := int(line) * 16
 	for i := 0; i < 16; i++ {
 		idx := base + i
 		if idx >= len(t.data) {
+			for j := i * 4; j < mem.LineSize; j++ {
+				buf[j] = 0
+			}
 			break
 		}
 		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(t.data[idx]))
