@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"teco/internal/cache"
+	"teco/internal/conformance/check"
 	"teco/internal/mem"
 )
 
@@ -207,6 +208,42 @@ func (d *Domain) Transfers() (total, onDemand int64) { return d.transfers, d.onD
 
 func (d *Domain) say(t MsgType) { d.msgs[t]++ }
 
+// checkLine asserts the per-line legality rules after a protocol operation
+// touched line l, plus the domain-wide message/transfer conservation laws.
+// Called from Write/Read/Evict only while conformance checking is enabled.
+func (d *Domain) checkLine(l mem.LineAddr) {
+	check.Check(
+		func() error { return d.CheckInvariants([]mem.LineAddr{l}) },
+		func() error {
+			if d.onDemand < 0 || d.onDemand > d.transfers {
+				return fmt.Errorf("coherence: %d on-demand of %d transfers", d.onDemand, d.transfers)
+			}
+			// Every data transfer is either an update push or an (on-demand
+			// or writeback) MESI data response.
+			if data := d.msgs[MsgFlushData] + d.msgs[MsgData]; data != d.transfers {
+				return fmt.Errorf("coherence: %d data messages vs %d transfers", data, d.transfers)
+			}
+			return nil
+		},
+		func() error {
+			if d.poisonRecovered > d.poisons {
+				return fmt.Errorf("coherence: recovered %d of %d poisoned pushes", d.poisonRecovered, d.poisons)
+			}
+			if int64(len(d.poisonedLines)) > d.poisons-d.poisonRecovered {
+				return fmt.Errorf("coherence: %d poisoned lines outstanding, %d unrecovered pushes",
+					len(d.poisonedLines), d.poisons-d.poisonRecovered)
+			}
+			return nil
+		},
+		func() error {
+			if d.mode == Update && len(d.snoop) != 0 {
+				return fmt.Errorf("coherence: update mode tracks %d snoop entries", len(d.snoop))
+			}
+			return nil
+		},
+	)
+}
+
 func (d *Domain) move(tr Transfer) {
 	d.transfers++
 	if tr.OnDemand {
@@ -348,6 +385,9 @@ func (d *Domain) Write(l mem.LineAddr, from Side) []cache.Eviction {
 			}
 		}
 		writer.SetState(l, cache.Modified)
+		if check.Enabled() {
+			d.checkLine(l)
+		}
 		return evs
 	}
 
@@ -372,6 +412,9 @@ func (d *Domain) Write(l mem.LineAddr, from Side) []cache.Eviction {
 				evs = append(evs, ev)
 			}
 		}
+	}
+	if check.Enabled() {
+		d.checkLine(l)
 	}
 	return evs
 }
@@ -406,6 +449,9 @@ func (d *Domain) Read(l mem.LineAddr, from Side) bool {
 		if d.mode == Invalidation {
 			d.snoopSet(l, from)
 		}
+		if check.Enabled() {
+			d.checkLine(l)
+		}
 		return true
 	}
 
@@ -424,6 +470,9 @@ func (d *Domain) Read(l mem.LineAddr, from Side) bool {
 	if d.mode == Invalidation {
 		d.snoopSet(l, from)
 	}
+	if check.Enabled() {
+		d.checkLine(l)
+	}
 	return false
 }
 
@@ -441,6 +490,9 @@ func (d *Domain) Evict(l mem.LineAddr, s Side) {
 	peer := d.cacheOf(s.Opposite())
 	if d.addrMap.InGiantCache(l) && peer.Lookup(l) == cache.Shared {
 		peer.SetState(l, cache.Exclusive)
+	}
+	if check.Enabled() {
+		d.checkLine(l)
 	}
 }
 

@@ -1,0 +1,10 @@
+//go:build race
+
+package conformance
+
+// raceEnabled reports that this binary was built with the race detector.
+// The golden suite skips itself under -race: regenerating every experiment
+// is minutes of pure-compute wall time there and the byte-level diff adds
+// nothing the non-race run does not already prove. The invariant and
+// property layers DO run under -race (see internal/conformance/prop).
+const raceEnabled = true

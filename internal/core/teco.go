@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"teco/internal/conformance/check"
 	"teco/internal/cpusim"
 	"teco/internal/cxl"
 	"teco/internal/dba"
@@ -138,7 +139,11 @@ func (e *Engine) paramLinkBytes(m modelzoo.Model, useDBA bool) int64 {
 // Step simulates one training step under the configured variant.
 func (e *Engine) Step(m modelzoo.Model, batch int) phases.StepResult {
 	if e.Config.Invalidation {
-		return e.stepInvalidation(m, batch)
+		res := e.stepInvalidation(m, batch)
+		if check.Enabled() {
+			check.Check(res.Check)
+		}
+		return res
 	}
 	useDBA := e.Config.DBA
 	degraded := false
@@ -153,6 +158,9 @@ func (e *Engine) Step(m modelzoo.Model, batch int) phases.StepResult {
 	}
 	res := e.stepUpdate(m, batch, useDBA)
 	res.Fault.Degraded = degraded
+	if check.Enabled() {
+		check.Check(res.Check)
+	}
 	return res
 }
 

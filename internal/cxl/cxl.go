@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"teco/internal/conformance/check"
 	"teco/internal/mem"
 	"teco/internal/sim"
 )
@@ -234,7 +235,71 @@ func (l *Link) SendFlow(ready sim.Time, n int, extra sim.Time, pktBytes int, agg
 
 	res.Done = done
 	l.commitRun(done, svc, n)
+	if check.Enabled() {
+		l.checkFlow(ready, n, pktBytes, res)
+	}
 	return res
+}
+
+// checkFlow asserts the per-flow conservation laws the retry/replay engine
+// must preserve: every framed packet is either delivered (possibly after
+// retries) or poisoned, replayed bytes never exceed the retransmit count
+// times the frame size, and fault handling can only delay completion, never
+// rewind it past the fault-free schedule.
+func (l *Link) checkFlow(ready sim.Time, n, pktBytes int, res FlowResult) {
+	check.Check(
+		func() error {
+			if res.Poisoned < 0 || res.Poisoned > res.Packets {
+				return fmt.Errorf("cxl: flow of %d packets poisoned %d (delivery conservation)", res.Packets, res.Poisoned)
+			}
+			return nil
+		},
+		func() error {
+			if pktBytes <= 0 {
+				pktBytes = n
+			}
+			if res.Retries < 0 || res.ReplayedBytes < 0 || res.ReplayedBytes > res.Retries*int64(pktBytes) {
+				return fmt.Errorf("cxl: %dB replayed for %d retries of %dB packets (replay conservation)",
+					res.ReplayedBytes, res.Retries, pktBytes)
+			}
+			return nil
+		},
+		func() error {
+			if res.Admit < ready {
+				return fmt.Errorf("cxl: flow admitted at %v before ready %v", res.Admit, ready)
+			}
+			if res.Done < res.CleanDone {
+				return fmt.Errorf("cxl: faulted completion %v before fault-free %v", res.Done, res.CleanDone)
+			}
+			return nil
+		},
+		l.CheckInvariants,
+	)
+}
+
+// CheckInvariants validates the link's cumulative accounting and returns
+// the first violation, if any: byte/packet/fault counters are non-negative,
+// no recorded completion lies beyond the link's drain point, and the
+// fault-free drain point never trails a retransmit-delayed one.
+func (l *Link) CheckInvariants() error {
+	if l.bytesSent < 0 || l.packets < 0 || l.busy < 0 || l.stall < 0 {
+		return fmt.Errorf("cxl: negative link accounting (bytes=%d packets=%d busy=%v stall=%v)",
+			l.bytesSent, l.packets, l.busy, l.stall)
+	}
+	f := l.fstats
+	if f.Retries < 0 || f.ReplayedBytes < 0 || f.Poisoned < 0 || f.Stalls < 0 ||
+		f.StallTime < 0 || f.RetryTime < 0 {
+		return fmt.Errorf("cxl: negative fault accounting %+v", f)
+	}
+	if l.cleanFreeAt > l.freeAt {
+		return fmt.Errorf("cxl: fault-free drain %v beyond drain %v", l.cleanFreeAt, l.freeAt)
+	}
+	for i, t := range l.finishRing {
+		if t > l.freeAt {
+			return fmt.Errorf("cxl: ring slot %d completion %v beyond drain %v", i, t, l.freeAt)
+		}
+	}
+	return nil
 }
 
 // admitRun applies pending-queue admission for one run: the producer is

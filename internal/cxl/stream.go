@@ -1,6 +1,9 @@
 package cxl
 
 import (
+	"fmt"
+
+	"teco/internal/conformance/check"
 	"teco/internal/mem"
 	"teco/internal/sim"
 )
@@ -163,7 +166,43 @@ func (s *Stream) pushPerLine(ready sim.Time, n int, lines int64, extra sim.Time,
 	l.cleanFreeAt = done
 	res.Done = done
 	l.commitRun(done, svc, n)
+	if check.Enabled() {
+		check.Check(
+			func() error {
+				// The per-line cumulative-byte schedule must telescope to
+				// the coalesced closed form — the bit-identity the fast
+				// path is built on.
+				if want := start + svc; done != want {
+					return fmt.Errorf("cxl: per-line run finished at %v, closed form %v", done, want)
+				}
+				return nil
+			},
+			s.CheckInvariants,
+			l.CheckInvariants,
+		)
+	}
 	return res
+}
+
+// CheckInvariants validates the stream's simulation accounting and returns
+// the first violation, if any: every pushed run took exactly one of the
+// three simulation paths, and the private engine has fully drained (a
+// pending line event after PushRun returns would mean a lost completion).
+func (s *Stream) CheckInvariants() error {
+	perLineRuns := s.stats.Runs - s.stats.Coalesced - s.stats.FaultFallback
+	if perLineRuns < 0 {
+		return fmt.Errorf("cxl: stream path counts exceed runs: %+v", s.stats)
+	}
+	if !s.perLine && perLineRuns != 0 {
+		return fmt.Errorf("cxl: coalesced stream recorded %d per-line runs", perLineRuns)
+	}
+	if s.stats.LineEvents != int64(s.eng.Fired()) {
+		return fmt.Errorf("cxl: %d line events recorded, %d fired", s.stats.LineEvents, s.eng.Fired())
+	}
+	if p := s.eng.Pending(); p != 0 {
+		return fmt.Errorf("cxl: stream engine holds %d undrained line events", p)
+	}
+	return s.eng.CheckInvariants()
 }
 
 // PushLines is PushRun for full-line payloads: lines is derived from n at

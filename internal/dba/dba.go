@@ -12,8 +12,10 @@
 package dba
 
 import (
+	"bytes"
 	"fmt"
 
+	"teco/internal/conformance/check"
 	"teco/internal/mem"
 	"teco/internal/sim"
 )
@@ -143,7 +145,31 @@ func disaggregateInto(dst, old, payload []byte, n int) []byte {
 	for w := 0; w < WordsPerLine; w++ {
 		copy(dst[w*WordSize:w*WordSize+n], payload[w*n:(w+1)*n])
 	}
+	if check.Enabled() {
+		checkMerged(dst, old, payload, n)
+	}
 	return dst
+}
+
+// checkMerged asserts the Disaggregator post-condition: the merged line
+// carries exactly the payload in the low n bytes of every word and the
+// stale line's bytes everywhere else. The post-condition implies merge
+// idempotence — re-disaggregating the merged line with the same payload is
+// a fixed point — which the conformance suite additionally exercises
+// end-to-end.
+func checkMerged(dst, old, payload []byte, n int) {
+	check.Check(func() error {
+		for w := 0; w < WordsPerLine; w++ {
+			base := w * WordSize
+			if !bytes.Equal(dst[base:base+n], payload[w*n:(w+1)*n]) {
+				return fmt.Errorf("dba: word %d low bytes diverge from payload after merge", w)
+			}
+			if !bytes.Equal(dst[base+n:base+WordSize], old[base+n:base+WordSize]) {
+				return fmt.Errorf("dba: word %d high bytes diverge from stale line after merge", w)
+			}
+		}
+		return nil
+	})
 }
 
 // Merge applies Disaggregate in place on dst.

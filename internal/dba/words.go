@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"teco/internal/conformance/check"
 	"teco/internal/parallel"
 	"teco/internal/tensor"
 )
@@ -50,6 +51,16 @@ func MergeWords(compute, master []float32, n, workers int) {
 			compute[i] = math.Float32frombits((cb &^ mask) | (mb & mask))
 		}
 	})
+	if check.Enabled() {
+		check.Check(func() error {
+			// Merge post-condition doubles as the idempotence law: a word
+			// already carrying the master's low bytes is a fixed point.
+			if i := FirstMergeMismatch(compute, master, n, workers); i >= 0 {
+				return fmt.Errorf("dba: word %d diverges from master's low %d bytes after MergeWords", i, n)
+			}
+			return nil
+		})
+	}
 }
 
 // FirstMergeMismatch checks the Disaggregator post-condition — every word

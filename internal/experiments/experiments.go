@@ -270,7 +270,7 @@ func Fig10With(opt Options) *Table {
 		if i >= len(rl) {
 			break
 		}
-		t.AddRow(fmt.Sprint(bs[i]), fmt.Sprintf("%.4f", bl[i]), fmt.Sprintf("%.4f", rl[i]))
+		t.AddRow(fmt.Sprint(bs[i]), f4(bl[i]), f4(rl[i]))
 	}
 	t.Note("curves follow the same trend and converge in the same number of steps (paper Fig 10)")
 	return t
@@ -330,7 +330,7 @@ func CommVolumeWith(opt Options) *Table {
 		Header: []string{"Model", "Param bytes (ZeRO)", "Param bytes (TECO-R)",
 			"Grad bytes", "Comm-time reduction"},
 	}
-	gb := func(v int64) string { return fmt.Sprintf("%.2fGB", float64(v)/1e9) }
+	gb := func(v int64) string { return f2(float64(v)/1e9) + "GB" }
 	models := modelzoo.EvaluationModels()
 	type cell struct {
 		row  []string
@@ -507,8 +507,8 @@ func LAMMPS() *Table {
 	// Physics-level validation: the melt tolerates the dirty-byte path.
 	exact := md.RunOffloaded(md.NewSystem(md.Config{Seed: 1}), 200, 0.004, 4)
 	dba3 := md.RunOffloaded(md.NewSystem(md.Config{Seed: 1}), 200, 0.004, md.MDDirtyBytes)
-	t.AddRow("Energy drift (exact transfers)", fmt.Sprintf("%.4f", exact), "-")
-	t.AddRow("Energy drift (dirty-byte path)", fmt.Sprintf("%.4f", dba3), "-")
+	t.AddRow("Energy drift (exact transfers)", f4(exact), "-")
+	t.AddRow("Energy drift (dirty-byte path)", f4(dba3), "-")
 	t.Note("positions cross the link as fixed-binade scaled coordinates, making the 3-dirty-byte merge well-conditioned (see internal/md)")
 	return t
 }

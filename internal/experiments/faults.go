@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"teco/internal/core"
 	"teco/internal/cxl"
@@ -169,4 +170,4 @@ func FaultSweep(opt Options) *Table {
 }
 
 // mb formats a byte count as mebibytes.
-func mb(v int64) string { return fmt.Sprintf("%.1fMB", float64(v)/(1<<20)) }
+func mb(v int64) string { return strconv.FormatFloat(float64(v)/(1<<20), 'f', 1, 64) + "MB" }

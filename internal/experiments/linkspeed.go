@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"teco/internal/core"
 	"teco/internal/modelzoo"
 	"teco/internal/zero"
@@ -41,7 +39,7 @@ func LinkSpeedSweepWith(opt Options) *Table {
 		teco.LinkBandwidth = g.raw * modelzoo.CXLEfficiency
 		rb := base.Step(m, 4)
 		rt := teco.Step(m, 4)
-		return []string{g.name, fmt.Sprintf("%.0f", g.raw/1e9),
+		return []string{g.name, f0(g.raw / 1e9),
 			ms(rb.Total().Milliseconds()), ms(rt.Total().Milliseconds()),
 			f2(rt.Speedup(rb)) + "x"}
 	}) {

@@ -96,7 +96,7 @@ func RecoverySweep(opt Options) *Table {
 		}
 		return []string{
 			fmt.Sprint(interval),
-			fmt.Sprintf("%.2f", rate),
+			f2(rate),
 			fmt.Sprint(stats.CkptWrites),
 			mb(stats.CkptBytes),
 			fmt.Sprint(stats.SDCDetected),

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -87,8 +88,12 @@ func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
-func pct(v float64) string {
-	return fmt.Sprintf("%.1f%%", 100*v)
-}
-func ms(v float64) string { return fmt.Sprintf("%.1fms", v) }
+// Cell formatting is pinned through strconv.FormatFloat (never fmt's float
+// verbs), so every emitted table is byte-identical across locales, hosts
+// and Go versions — the property the conformance goldens regression-test.
+func f0(v float64) string   { return strconv.FormatFloat(v, 'f', 0, 64) }
+func f2(v float64) string   { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f4(v float64) string   { return strconv.FormatFloat(v, 'f', 4, 64) }
+func pct(v float64) string  { return strconv.FormatFloat(100*v, 'f', 1, 64) + "%" }
+func ms(v float64) string   { return strconv.FormatFloat(v, 'f', 1, 64) + "ms" }
+func secs(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) + "s" }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"teco/internal/core"
@@ -87,9 +86,7 @@ func TimeToLossWith(opt Options) *Table {
 		if !okB || !okR {
 			continue
 		}
-		t.AddRow(fmt.Sprintf("%.4f", level),
-			fmt.Sprintf("%.1fs", bt.Seconds()),
-			fmt.Sprintf("%.1fs", rt.Seconds()),
+		t.AddRow(f4(level), secs(bt.Seconds()), secs(rt.Seconds()),
 			f2(float64(bt)/float64(rt))+"x")
 	}
 	t.Note("same optimizer trajectory modulo the DBA approximation; TECO reaches every loss level earlier because each step is cheaper")

@@ -66,7 +66,7 @@ func TuneActAfterStepsWith(opt Options) *Table {
 		return t
 	}
 	for _, p := range history {
-		t.AddRow(fmt.Sprint(p.act), pct(p.acc), f2(p.sp)+"x", fmt.Sprintf("%.4f", p.score))
+		t.AddRow(fmt.Sprint(p.act), pct(p.acc), f2(p.sp)+"x", f4(p.score))
 	}
 	t.Note("best act_aft_steps = %d (score %.4f); the paper settles on 500 of 1775 steps — in this proxy the quality term is nearly flat in the activation step, so the optimizer leans toward early activation for speed", int(res.BestX), res.BestY)
 	return t

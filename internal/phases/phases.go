@@ -7,6 +7,7 @@ package phases
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"teco/internal/sim"
@@ -44,11 +45,40 @@ func (b Breakdown) CommFraction() float64 {
 // Compute returns the non-communication time.
 func (b Breakdown) Compute() sim.Time { return b.Total() - b.CommExposed() }
 
+// String renders the breakdown. Float formatting is pinned through strconv
+// (no locale- or verb-sensitive paths), so the output is byte-identical
+// across platforms and Go versions — asserted by the conformance goldens.
 func (b Breakdown) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "fwd=%v bwd=%v grad=%v clip=%v adam=%v param=%v total=%v (comm %.1f%%)",
-		b.Fwd, b.Bwd, b.Grad, b.Clip, b.Adam, b.Prm, b.Total(), 100*b.CommFraction())
+	sb.WriteString("fwd=" + b.Fwd.String())
+	sb.WriteString(" bwd=" + b.Bwd.String())
+	sb.WriteString(" grad=" + b.Grad.String())
+	sb.WriteString(" clip=" + b.Clip.String())
+	sb.WriteString(" adam=" + b.Adam.String())
+	sb.WriteString(" param=" + b.Prm.String())
+	sb.WriteString(" total=" + b.Total().String())
+	sb.WriteString(" (comm " + strconv.FormatFloat(100*b.CommFraction(), 'f', 1, 64) + "%)")
 	return sb.String()
+}
+
+// Check validates the breakdown's conservation laws and returns the first
+// violation, if any: no phase may carry a negative duration (exposure terms
+// are clamped differences, so a negative one means broken fence ordering),
+// and Total must be exactly the sum of the six phases — the additivity the
+// paper's Fig 12 stacking relies on.
+func (b Breakdown) Check() error {
+	for _, p := range []struct {
+		name string
+		d    sim.Time
+	}{{"fwd", b.Fwd}, {"bwd", b.Bwd}, {"grad", b.Grad}, {"clip", b.Clip}, {"adam", b.Adam}, {"param", b.Prm}} {
+		if p.d < 0 {
+			return fmt.Errorf("phases: negative %s duration %v", p.name, p.d)
+		}
+	}
+	if sum := b.Fwd + b.Bwd + b.Grad + b.Clip + b.Adam + b.Prm; b.Total() != sum {
+		return fmt.Errorf("phases: total %v != phase sum %v", b.Total(), sum)
+	}
+	return nil
 }
 
 // Variant identifies the system being simulated.
@@ -178,6 +208,45 @@ type StepResult struct {
 
 // TotalLinkBytes returns combined link volume.
 func (r StepResult) TotalLinkBytes() int64 { return r.ParamLinkBytes + r.GradLinkBytes }
+
+// Check validates the step result's accounting invariants and returns the
+// first violation, if any: the breakdown laws, non-negative link volumes,
+// and the fault/recovery conservation rules (a line can only be recovered
+// after being poisoned, stall/exposure latencies are durations, rollbacks
+// imply detections).
+func (r StepResult) Check() error {
+	if err := r.Breakdown.Check(); err != nil {
+		return err
+	}
+	if r.ParamLinkBytes < 0 || r.GradLinkBytes < 0 {
+		return fmt.Errorf("phases: negative link volume (param=%d grad=%d)", r.ParamLinkBytes, r.GradLinkBytes)
+	}
+	f := r.Fault
+	if f.Retries < 0 || f.ReplayedBytes < 0 || f.Poisoned < 0 || f.Recovered < 0 || f.Stalls < 0 {
+		return fmt.Errorf("phases: negative fault counter %+v", f)
+	}
+	if f.Recovered > f.Poisoned {
+		return fmt.Errorf("phases: recovered %d lines of %d poisoned", f.Recovered, f.Poisoned)
+	}
+	if f.StallTime < 0 || f.Exposed < 0 {
+		return fmt.Errorf("phases: negative fault latency (stall=%v exposed=%v)", f.StallTime, f.Exposed)
+	}
+	if f.Stalls == 0 && f.StallTime != 0 {
+		return fmt.Errorf("phases: %v stall time with zero stalls", f.StallTime)
+	}
+	rec := r.Recovery
+	if rec.CkptWrites < 0 || rec.CkptBytes < 0 || rec.SDCDetected < 0 || rec.Rollbacks < 0 ||
+		rec.ReplayedSteps < 0 || rec.CorruptSnapshotsSkipped < 0 || rec.RecoveryTime < 0 {
+		return fmt.Errorf("phases: negative recovery counter %+v", rec)
+	}
+	if rec.Rollbacks > rec.SDCDetected {
+		return fmt.Errorf("phases: %d rollbacks for %d detections", rec.Rollbacks, rec.SDCDetected)
+	}
+	if rec.CkptWrites == 0 && rec.CkptBytes != 0 {
+		return fmt.Errorf("phases: %d checkpoint bytes with zero writes", rec.CkptBytes)
+	}
+	return nil
+}
 
 // Speedup returns base.Total / r.Total.
 func (r StepResult) Speedup(base StepResult) float64 {

@@ -1,0 +1,62 @@
+package profileflags
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStartCPUProfileUnwritablePath(t *testing.T) {
+	c := &Config{CPU: filepath.Join(t.TempDir(), "no-such-dir", "cpu.out")}
+	if _, err := c.Start(); err == nil {
+		t.Fatal("Start succeeded with an unwritable CPU profile path")
+	}
+}
+
+func TestStartTraceUnwritablePathCleansUpCPU(t *testing.T) {
+	dir := t.TempDir()
+	c := &Config{
+		CPU:   filepath.Join(dir, "cpu.out"),
+		Trace: filepath.Join(dir, "no-such-dir", "trace.out"),
+	}
+	if _, err := c.Start(); err == nil {
+		t.Fatal("Start succeeded with an unwritable trace path")
+	}
+	// The failed Start must have stopped the CPU profile it had already
+	// begun — otherwise this second profile cannot start.
+	c2 := &Config{CPU: filepath.Join(dir, "cpu2.out")}
+	stop, err := c2.Start()
+	if err != nil {
+		t.Fatalf("CPU profile left running by failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCPUProfilesRejected(t *testing.T) {
+	dir := t.TempDir()
+	first := &Config{CPU: filepath.Join(dir, "a.out")}
+	stop, err := first.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	second := &Config{CPU: filepath.Join(dir, "b.out")}
+	if _, err := second.Start(); err == nil {
+		t.Fatal("second concurrent CPU profile accepted")
+	} else if !strings.Contains(err.Error(), "cpu profile") {
+		t.Fatalf("unexpected error %q", err)
+	}
+}
+
+func TestStopMemProfileUnwritablePath(t *testing.T) {
+	c := &Config{Mem: filepath.Join(t.TempDir(), "no-such-dir", "heap.out")}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with an unwritable heap profile path")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"teco/internal/checkpoint"
+	"teco/internal/conformance/check"
 	"teco/internal/dba"
 	"teco/internal/optim"
 	"teco/internal/parallel"
@@ -507,7 +508,35 @@ func (t *Trainer) Step() error {
 	copy(t.prevGrads, t.grads)
 	t.step++
 	t.recordSums()
+	if check.Enabled() {
+		t.checkStep(active)
+	}
 	return nil
+}
+
+// checkStep asserts the trainer's per-step invariants under the conformance
+// layer (independent of the SDCChecks guards, which turn detections into
+// rollbacks rather than failures): the master copy stays finite, and an
+// active DBA merge leaves the compute copy carrying the master's dirty
+// bytes exactly.
+func (t *Trainer) checkStep(active bool) {
+	check.Check(
+		func() error {
+			if i := optim.FirstNonFiniteWorkers(t.master, t.cfg.Workers); i >= 0 {
+				return fmt.Errorf("realtrain: non-finite master word %d after step %d", i, t.step-1)
+			}
+			return nil
+		},
+		func() error {
+			if !active {
+				return nil
+			}
+			if i := dba.FirstMergeMismatch(t.compute, t.master, t.cfg.DirtyBytes, t.cfg.Workers); i >= 0 {
+				return fmt.Errorf("realtrain: merge mismatch at word %d after step %d", i, t.step-1)
+			}
+			return nil
+		},
+	)
 }
 
 // Result finalizes the run: test metrics of the accelerator params, the

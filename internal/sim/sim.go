@@ -11,6 +11,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strconv"
+
+	"teco/internal/conformance/check"
 )
 
 // Time is a simulated timestamp in picoseconds.
@@ -34,19 +37,24 @@ func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) 
 // Nanoseconds converts t to floating-point nanoseconds.
 func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 
-// String renders the time with an adaptive unit for debugging output.
+// String renders the time with an adaptive unit for debugging output. Float
+// formatting is pinned through strconv so the rendering is byte-identical
+// across platforms and Go versions (the conformance goldens depend on it).
 func (t Time) String() string {
+	f3 := func(v float64, unit string) string {
+		return strconv.FormatFloat(v, 'f', 3, 64) + unit
+	}
 	switch {
 	case t >= Second:
-		return fmt.Sprintf("%.3fs", t.Seconds())
+		return f3(t.Seconds(), "s")
 	case t >= Millisecond:
-		return fmt.Sprintf("%.3fms", t.Milliseconds())
+		return f3(t.Milliseconds(), "ms")
 	case t >= Microsecond:
-		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+		return f3(float64(t)/float64(Microsecond), "us")
 	case t >= Nanosecond:
-		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+		return f3(t.Nanoseconds(), "ns")
 	default:
-		return fmt.Sprintf("%dps", int64(t))
+		return strconv.FormatInt(int64(t), 10) + "ps"
 	}
 }
 
@@ -222,6 +230,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(*Event)
+	if check.Enabled() && ev.at < e.now {
+		check.Failf("sim: event time %v before clock %v (monotonicity)", ev.at, e.now)
+	}
 	e.now = ev.at
 	e.fired++
 	if ev.pooled {
@@ -243,6 +254,27 @@ func (e *Engine) Run() Time {
 	for e.Step() {
 	}
 	return e.now
+}
+
+// CheckInvariants validates the engine's internal consistency and returns
+// the first violation, if any: the pending-event heap must be a min-heap on
+// (time, seq) with correct back-indices, and no pending event may be
+// scheduled before the current clock.
+func (e *Engine) CheckInvariants() error {
+	for i, ev := range e.events {
+		if ev.index != i {
+			return fmt.Errorf("sim: event at heap slot %d carries index %d", i, ev.index)
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: pending event at %v before clock %v", ev.at, e.now)
+		}
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(e.events) && e.events.Less(c, i) {
+				return fmt.Errorf("sim: heap order violated between slots %d and %d", i, c)
+			}
+		}
+	}
+	return nil
 }
 
 // RunUntil fires events with timestamps <= deadline, then advances the clock
