@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench benchflow perfgate check experiments golden cover loc
+.PHONY: all build vet test test-short bench benchflow perfgate check experiments golden cover soak loc
 
 all: build vet test
 
@@ -47,11 +47,21 @@ bench:
 benchflow:
 	$(GO) run ./cmd/benchflow -out BENCH_flow.json
 
-# Perf-regression gate: re-measure the stream microbenchmark and fail on a
-# >25% ns/op regression against perf_baseline.json (run with
-# `go run ./cmd/perfgate -update` after an intentional perf change).
+# Perf-regression gate: re-measure the stream microbenchmark and the
+# tecosimd warm-cache p99 lookup, and fail on a regression against
+# perf_baseline.json (run with `go run ./cmd/perfgate -update` after an
+# intentional perf change).
 perfgate:
 	$(GO) run ./cmd/perfgate
+
+# Chaos soak: SIGKILL the real tecosimd daemon in a loop under cache fault
+# injection (bit flips, truncations, short writes, transient errors) and
+# verify every response against the seed-42 conformance references.
+# SOAK_SECS bounds the wall clock; the in-process chaos harness in
+# internal/server runs unconditionally under plain `make test`.
+SOAK_SECS ?= 30
+soak:
+	SOAK_SECS=$(SOAK_SECS) $(GO) test -count=1 -v -run 'TestDaemonChaosSoak' ./internal/server
 
 # Regenerate every paper table/figure (plus the extension experiments) as
 # markdown on stdout.

@@ -4,8 +4,13 @@
 //
 //   - either mode's ns/op regressed more than the threshold (default 25%)
 //     against the checked-in baseline (perf_baseline.json),
-//   - either mode allocates in steady state, or
-//   - the coalescing speedup fell below the tentpole's 5x floor.
+//   - either mode allocates in steady state,
+//   - the coalescing speedup fell below the tentpole's 5x floor, or
+//   - the sweep service's warm-cache p99 lookup latency (diskcache, the
+//     tecosimd hot path) regressed past its own, looser threshold —
+//     disk-backed latency on shared CI boxes is far noisier than a CPU
+//     microbenchmark, so the cache gate defaults to 100% headroom where
+//     the stream gate gets 25%.
 //
 // Measurements take the best of -repeat runs, so scheduler noise on a busy
 // CI box shows up as a slow outlier that is discarded, not a false failure.
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"teco/internal/diskcache"
 	"teco/internal/streambench"
 )
 
@@ -28,12 +34,18 @@ type baseline struct {
 	RunLines         int   `json:"run_lines"`
 	PerLineNsPerOp   int64 `json:"per_line_ns_per_op"`
 	CoalescedNsPerOp int64 `json:"coalesced_ns_per_op"`
+	// WarmCacheP99Ns is the warm-lookup p99 of the tecosimd result cache at
+	// the shape pinned by diskcache.WarmEntries/WarmPayloadBytes. Zero means
+	// the baseline predates the cache gate; perfgate then measures and
+	// reports but does not fail (run -update to arm it).
+	WarmCacheP99Ns int64 `json:"warm_cache_p99_ns"`
 }
 
 func main() {
 	path := flag.String("baseline", "perf_baseline.json", "checked-in baseline path")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op regression before failing")
 	minSpeedup := flag.Float64("min-speedup", 5, "minimum coalescing speedup (per-line / coalesced ns/op)")
+	cacheThreshold := flag.Float64("cache-threshold", 1.0, "allowed fractional warm-cache p99 regression before failing")
 	repeat := flag.Int("repeat", 3, "measurement repetitions (best-of)")
 	update := flag.Bool("update", false, "rewrite the baseline from this machine's measurement and exit")
 	flag.Parse()
@@ -46,11 +58,17 @@ func main() {
 	fmt.Printf("  coalesced %10d ns/op  %d allocs/op\n", coalesced.NsPerOp, coalesced.AllocsPerOp)
 	fmt.Printf("  speedup   %.0fx\n", speedup)
 
+	warmP99 := measureWarmCacheP99(*repeat)
+	fmt.Printf("warm-cache lookup (%d entries x %dB, best of %d):\n",
+		diskcache.WarmEntries, diskcache.WarmPayloadBytes, *repeat)
+	fmt.Printf("  p99       %10d ns\n", warmP99)
+
 	if *update {
 		b := baseline{
 			RunLines:         streambench.RunLines,
 			PerLineNsPerOp:   perLine.NsPerOp,
 			CoalescedNsPerOp: coalesced.NsPerOp,
+			WarmCacheP99Ns:   warmP99,
 		}
 		buf, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -94,6 +112,18 @@ func main() {
 	}
 	check("per-line", perLine.NsPerOp, base.PerLineNsPerOp)
 	check("coalesced", coalesced.NsPerOp, base.CoalescedNsPerOp)
+	if base.WarmCacheP99Ns > 0 {
+		limit := float64(base.WarmCacheP99Ns) * (1 + *cacheThreshold)
+		if float64(warmP99) > limit {
+			fmt.Fprintf(os.Stderr, "FAIL warm-cache p99: %d ns exceeds baseline %d ns by more than %.0f%% (limit %.0f)\n",
+				warmP99, base.WarmCacheP99Ns, *cacheThreshold*100, limit)
+			failed = true
+		} else {
+			fmt.Printf("  ok warm-cache p99: %d ns within %.0f%% of baseline %d\n", warmP99, *cacheThreshold*100, base.WarmCacheP99Ns)
+		}
+	} else {
+		fmt.Println("  -- warm-cache p99: no baseline recorded; measuring only (run -update to arm the gate)")
+	}
 	if perLine.AllocsPerOp != 0 || coalesced.AllocsPerOp != 0 {
 		fmt.Fprintf(os.Stderr, "FAIL allocations: per-line %d, coalesced %d allocs/op (want 0)\n",
 			perLine.AllocsPerOp, coalesced.AllocsPerOp)
@@ -107,4 +137,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("perfgate: pass")
+}
+
+// measureWarmCacheP99 returns the best warm-lookup p99 of repeat runs, each
+// against its own fresh temp directory — best-of for the same reason as the
+// stream benchmark: a noisy-neighbour outlier must not fail the gate.
+func measureWarmCacheP99(repeat int) int64 {
+	best := int64(0)
+	for i := 0; i < repeat; i++ {
+		p99, err := diskcache.MeasureWarmLookupP99Temp()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfgate: warm-cache measurement: %v\n", err)
+			os.Exit(1)
+		}
+		if best == 0 || p99 < best {
+			best = p99
+		}
+	}
+	return best
 }

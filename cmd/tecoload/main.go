@@ -1,0 +1,163 @@
+// Command tecoload is the load-test traffic generator for the tecosimd
+// sweep service: concurrent clients replay a hot/cold request mix against
+// /run and the tool reports latency quantiles, cache hit rate, coalescing
+// and shed counts — the numbers that show the daemon degrading gracefully
+// (serving warm hits and shedding excess) instead of collapsing.
+//
+//	tecosimd -addr :8723 -cache-dir /tmp/teco &
+//	tecoload -url http://localhost:8723 -clients 16 -duration 10s
+//
+// With -self it spins up an in-process server over a temp cache directory
+// instead, so a one-command load test needs no running daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"teco/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tecoload:", err)
+		os.Exit(1)
+	}
+}
+
+// counters aggregates worker outcomes.
+type counters struct {
+	ok, cached, coalesced atomic.Int64
+	shed, errs            atomic.Int64
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "", "base URL of a running tecosimd (e.g. http://localhost:8723)")
+		self     = flag.Bool("self", false, "spin up an in-process server over a temp cache instead of -url")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		hot      = flag.Float64("hot", 0.8, "fraction of requests aimed at a single hot key (rest spread over -cold-keys cold keys)")
+		coldKeys = flag.Int("cold-keys", 32, "distinct cold (id, seed) pairs in the mix")
+		ids      = flag.String("ids", "table1,fig12,volume,table6,ablation-dpu", "comma-separated experiment ids to draw from")
+		seed     = flag.Int64("seed", 1, "traffic-mix RNG seed")
+		slots    = flag.Int("slots", 2, "-self: compute slots")
+		queue    = flag.Int("queue", 8, "-self: admission queue depth")
+	)
+	flag.Parse()
+	if (*url == "") == !*self {
+		return fmt.Errorf("exactly one of -url or -self is required")
+	}
+	idList := strings.Split(*ids, ",")
+
+	base := *url
+	if *self {
+		dir, err := os.MkdirTemp("", "tecoload-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		srv, err := server.New(server.Config{CacheDir: dir, Slots: *slots, QueueDepth: *queue})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("tecoload: in-process server on %s (cache %s)\n", base, dir)
+	}
+
+	// The request mix: one hot (id, seed) pair taking the -hot fraction of
+	// traffic — the steady-state warm path — and -cold-keys cold pairs
+	// sharing the rest, which exercise compute, coalescing and shedding.
+	type target struct {
+		id   string
+		seed int64
+	}
+	hotTarget := target{idList[0], 42}
+	cold := make([]target, *coldKeys)
+	mixRng := rand.New(rand.NewSource(*seed))
+	for i := range cold {
+		cold[i] = target{idList[mixRng.Intn(len(idList))], int64(1000 + i)}
+	}
+
+	var c counters
+	latMu := sync.Mutex{}
+	var lats []time.Duration
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			client := &http.Client{Timeout: time.Minute}
+			for time.Now().Before(stop) {
+				tgt := hotTarget
+				if rng.Float64() >= *hot {
+					tgt = cold[rng.Intn(len(cold))]
+				}
+				start := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/run?id=%s&seed=%d", base, tgt.id, tgt.seed))
+				if err != nil {
+					c.errs.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(start)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					c.ok.Add(1)
+					latMu.Lock()
+					lats = append(lats, elapsed)
+					latMu.Unlock()
+					// Cheap envelope sniff; a full parse per request would
+					// make the generator the bottleneck.
+					if strings.Contains(string(body[:min(len(body), 64)]), `"cached":true`) {
+						c.cached.Add(1)
+					} else if strings.Contains(string(body[:min(len(body), 96)]), `"coalesced":true`) {
+						c.coalesced.Add(1)
+					}
+				case http.StatusServiceUnavailable:
+					c.shed.Add(1)
+				default:
+					c.errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := c.ok.Load() + c.shed.Load() + c.errs.Load()
+	if total == 0 {
+		return fmt.Errorf("no requests completed — is %s reachable?", base)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(float64(len(lats)-1)*p)]
+	}
+	fmt.Printf("requests:   %d (%.0f/s over %v)\n", total, float64(total)/duration.Seconds(), *duration)
+	fmt.Printf("ok:         %d (%.1f%% cached, %d coalesced)\n",
+		c.ok.Load(), 100*float64(c.cached.Load())/float64(max(c.ok.Load(), 1)), c.coalesced.Load())
+	fmt.Printf("shed (503): %d\n", c.shed.Load())
+	fmt.Printf("errors:     %d\n", c.errs.Load())
+	fmt.Printf("latency:    p50 %v  p95 %v  p99 %v  max %v\n", q(0.50), q(0.95), q(0.99), q(1.0))
+	if c.errs.Load() > 0 {
+		return fmt.Errorf("%d requests failed", c.errs.Load())
+	}
+	return nil
+}

@@ -19,13 +19,59 @@ const DefaultKeepLast = 3
 var ErrNoSnapshot = errors.New("checkpoint: no loadable snapshot")
 
 // Store manages a directory of snapshot files named ckpt-<step>.teco.
-// Writes are atomic (write to a temp file, fsync, rename into place) so a
-// crash mid-checkpoint never leaves a half-written file under a live name,
-// and retention keeps the last K snapshots.
+// Writes are atomic and crash-durable: the wire image goes to a temp file
+// which is fsynced before the rename into its live name, and the parent
+// directory is fsynced after, so a crash — or power loss — at any point
+// leaves either the previous snapshot set or the complete new file under
+// the live name, never a torn one and never a rename that evaporates on
+// reboot. Retention keeps the last K snapshots.
 type Store struct {
 	dir  string
 	keep int
 }
+
+// The durable-write sequence is factored into injectable steps so the
+// crash-durability test can observe their order and fail each one —
+// without them the fsync-before-rename and dir-fsync-after-rename ordering
+// would be untestable (the kernel hides it on a healthy filesystem).
+var (
+	// writeTempFile writes wire to a fresh temp file in dir and fsyncs it,
+	// returning the temp path. The fsync must happen before rename: rename
+	// publishes the name, and a published name pointing at unflushed bytes
+	// is exactly the torn state the store exists to prevent.
+	writeTempFile = func(dir string, wire []byte) (string, error) {
+		f, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+		if err != nil {
+			return "", err
+		}
+		tmp := f.Name()
+		if _, err := f.Write(wire); err != nil {
+			f.Close()
+			return tmp, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return tmp, err
+		}
+		return tmp, f.Close()
+	}
+	// renameFile publishes the temp file under its live name.
+	renameFile = os.Rename
+	// syncParentDir fsyncs the directory so the rename itself survives
+	// power loss (the rename lives in directory metadata, which the file
+	// fsync does not cover).
+	syncParentDir = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+)
 
 // NewStore opens (creating if needed) a checkpoint directory. keep <= 0
 // selects DefaultKeepLast.
@@ -50,33 +96,30 @@ func (st *Store) path(step int64) string {
 	return filepath.Join(st.dir, fmt.Sprintf("ckpt-%012d.teco", step))
 }
 
-// Save atomically persists a snapshot and prunes old files past the
-// retention depth. It returns the final path and the encoded size.
+// Save atomically and durably persists a snapshot and prunes old files
+// past the retention depth. It returns the final path and the encoded
+// size. The sequence is write-temp → fsync(temp) → rename → fsync(dir);
+// any failure removes the temp file and leaves the previous snapshot set
+// untouched.
 func (st *Store) Save(s *Snapshot) (string, int64, error) {
 	wire := s.Encode()
-	tmp, err := os.CreateTemp(st.dir, ".ckpt-*.tmp")
+	tmpName, err := writeTempFile(st.dir, wire)
 	if err != nil {
-		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(wire); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
 		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
 	}
 	final := st.path(s.Step)
-	if err := os.Rename(tmpName, final); err != nil {
+	if err := renameFile(tmpName, final); err != nil {
 		os.Remove(tmpName)
 		return "", 0, fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := syncParentDir(st.dir); err != nil {
+		// The rename happened but its durability is unknown; surface the
+		// error so the caller does not advance its recovery line past a
+		// checkpoint that may evaporate on power loss.
+		return "", 0, fmt.Errorf("checkpoint: save: sync dir: %w", err)
 	}
 	st.prune()
 	return final, int64(len(wire)), nil

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests pin the crash-durability contract of Store.Save by swapping
+// the injectable I/O steps (writeTempFile / renameFile / syncParentDir):
+// the durable-write sequence must run in write→fsync→rename→dirsync order,
+// and a failure at any step must leave the previous snapshot set intact.
+
+func swapSaveHooks(t *testing.T,
+	write func(string, []byte) (string, error),
+	rename func(string, string) error,
+	dirSync func(string) error) {
+	t.Helper()
+	origWrite, origRename, origSync := writeTempFile, renameFile, syncParentDir
+	if write != nil {
+		writeTempFile = write
+	}
+	if rename != nil {
+		renameFile = rename
+	}
+	if dirSync != nil {
+		syncParentDir = dirSync
+	}
+	t.Cleanup(func() {
+		writeTempFile, renameFile, syncParentDir = origWrite, origRename, origSync
+	})
+}
+
+// TestSaveDurableOrdering injects recording hooks and asserts the exact
+// sequence: the temp file is written (and fsynced) before the rename, and
+// the parent directory is fsynced after the rename — the order that makes
+// the rename itself survive power loss.
+func TestSaveDurableOrdering(t *testing.T) {
+	dir := t.TempDir()
+	var seq []string
+	origWrite := writeTempFile
+	swapSaveHooks(t,
+		func(d string, wire []byte) (string, error) {
+			seq = append(seq, "write+fsync(temp)")
+			return origWrite(d, wire)
+		},
+		func(oldpath, newpath string) error {
+			seq = append(seq, "rename")
+			return os.Rename(oldpath, newpath)
+		},
+		func(d string) error {
+			seq = append(seq, "fsync(dir)")
+			if d != dir {
+				t.Fatalf("dir fsync on %q, want the store dir %q", d, dir)
+			}
+			return nil
+		})
+	st, err := NewStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Save(testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := "write+fsync(temp),rename,fsync(dir)"
+	if got := strings.Join(seq, ","); got != want {
+		t.Fatalf("durable-write order %q, want %q", got, want)
+	}
+}
+
+// TestSaveWriteFailureLeavesStoreClean: an injected WriteFile failure (torn
+// temp write) must fail the Save, remove the temp residue, and leave every
+// previously saved snapshot loadable.
+func TestSaveWriteFailureLeavesStoreClean(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testSnapshot(7)
+	if _, _, err := st.Save(good); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected: disk full mid-write")
+	origWrite := writeTempFile
+	swapSaveHooks(t, func(d string, wire []byte) (string, error) {
+		// Write half the bytes for real, then fail — the torn-temp case.
+		tmp, _ := origWrite(d, wire[:len(wire)/2])
+		return tmp, injected
+	}, nil, nil)
+
+	bad := testSnapshot(8)
+	bad.Step = good.Step + 50
+	if _, _, err := st.Save(bad); !errors.Is(err, injected) {
+		t.Fatalf("Save error = %v, want the injected write failure", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp residue %s left after failed Save", e.Name())
+		}
+	}
+	s, info, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != good.Step || len(info.Skipped) != 0 {
+		t.Fatalf("recovery line moved: loaded step %d (skipped %v), want %d", s.Step, info.Skipped, good.Step)
+	}
+}
+
+// TestSaveDirSyncFailureSurfaces: when the directory fsync fails the rename
+// durability is unknown, so Save must report the error (the session then
+// refuses to advance its recovery line) even though the file is visible.
+func TestSaveDirSyncFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected: dir fsync lost")
+	swapSaveHooks(t, nil, nil, func(string) error { return injected })
+	if _, _, err := st.Save(testSnapshot(3)); !errors.Is(err, injected) {
+		t.Fatalf("Save error = %v, want the injected dir-sync failure", err)
+	}
+}
+
+// TestSaveRenameFailureRemovesTemp: a failed publish removes the fsynced
+// temp file rather than stranding it.
+func TestSaveRenameFailureRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected: rename EIO")
+	swapSaveHooks(t, nil, func(string, string) error { return injected }, nil)
+	if _, _, err := st.Save(testSnapshot(4)); !errors.Is(err, injected) {
+		t.Fatalf("Save error = %v, want the injected rename failure", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = filepath.Join(dir, e.Name())
+		}
+		t.Fatalf("store dir not clean after failed rename: %v", names)
+	}
+}

@@ -1,0 +1,400 @@
+// Package diskcache is a content-addressed, crash-safe on-disk result
+// cache: the persistence layer behind the tecosimd sweep service. Every
+// entry is keyed by a 64-bit config fingerprint (the same FNV-over-%+v
+// scheme as realtrain's configTag and the checkpoint ConfigTag), stored in
+// its own file whose wire image is CRC-16 framed exactly like a checkpoint
+// section, and written with the full crash-durable sequence — temp file,
+// fsync, rename into place, fsync of the parent directory — so a crash at
+// any byte leaves either the old entry or no entry, never a torn one.
+//
+// Reads fail closed: any framing violation, bit flip or truncated tail is
+// detected by the CRC, the damaged file is removed, and the lookup reports
+// a miss so the caller transparently recomputes. Because entries are
+// content-addressed (a key fully determines its payload), a recompute
+// rewrites the identical bytes — corruption can cost a recompute, never a
+// wrong answer. The chaos harness in internal/server proves both
+// properties under kill -9 and injected media faults.
+//
+// Transient I/O errors are retried with bounded exponential backoff plus
+// seeded jitter; injected crashes (Faults.CrashNextWriteAfter, the
+// in-process stand-in for kill -9) are not retried — the "process" is dead.
+package diskcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"teco/internal/cxl"
+)
+
+// Format constants. Version is bumped on any wire-image change; decoders
+// reject versions they do not understand rather than guessing.
+const (
+	// Magic opens every entry file.
+	Magic = "TECORSLT"
+	// Version is the current entry format version.
+	Version = 1
+	// headerLen is magic + version(u16) + key(u64) + payload length(u32).
+	headerLen = len(Magic) + 2 + 8 + 4
+	// overhead is everything around the payload: header + trailing CRC-16.
+	overhead = headerLen + 2
+)
+
+// ErrCorrupt reports an entry whose framing or CRC check failed. Get never
+// returns it to callers — the entry is dropped and the lookup misses — but
+// decode surfaces it for the corruption tests.
+var ErrCorrupt = errors.New("diskcache: corrupt entry")
+
+// DefaultMaxRetries bounds the retry loop around entry I/O when Config
+// leaves it zero.
+const DefaultMaxRetries = 4
+
+// DefaultRetryBase is the initial backoff step when Config leaves it zero;
+// attempt k sleeps base<<k plus up to 50% seeded jitter.
+const DefaultRetryBase = time.Millisecond
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the cache directory, created if needed.
+	Dir string
+	// MaxRetries bounds retries of transient entry I/O failures
+	// (0: DefaultMaxRetries).
+	MaxRetries int
+	// RetryBase is the initial backoff step (0: DefaultRetryBase).
+	RetryBase time.Duration
+	// RetrySeed seeds the backoff jitter stream.
+	RetrySeed int64
+	// Faults optionally injects I/O failures — the chaos harness's handle
+	// on the cache. Nil runs clean.
+	Faults *Faults
+}
+
+// Stats are the cache's cumulative counters, all monotone.
+type Stats struct {
+	// Hits and Misses count Get outcomes; a corrupt entry counts as a miss.
+	Hits, Misses int64
+	// Puts counts durably completed writes; PutNoops counts Puts that found
+	// the entry already present (content-addressed entries are immutable,
+	// so rewriting identical bytes is skipped).
+	Puts, PutNoops int64
+	// CorruptDropped counts entries whose CRC/framing check failed on Get;
+	// each was removed and reported as a miss, never served.
+	CorruptDropped int64
+	// Retries counts transient I/O attempts that were retried.
+	Retries int64
+	// TempSwept counts leftover temp files removed by Open — the residue of
+	// crashes mid-write.
+	TempSwept int64
+}
+
+// Cache is a handle on one cache directory. It is safe for concurrent use.
+type Cache struct {
+	dir        string
+	maxRetries int
+	retryBase  time.Duration
+	faults     *Faults
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	hits, misses, puts, putNoops atomic.Int64
+	corrupt, retries             atomic.Int64
+	tempSwept                    int64
+
+	indexMu sync.Mutex
+	index   map[uint64]struct{} // keys believed present (advisory)
+}
+
+// Open opens (creating if needed) a cache directory, sweeps temp files left
+// by crashed writers, and builds the in-memory key index from the directory
+// listing. There is deliberately no separate index file: the directory is
+// the index, so there is nothing extra to tear in a crash. Entries are
+// validated lazily — Get CRC-checks every byte it serves.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("diskcache: empty cache directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: create dir: %w", err)
+	}
+	c := &Cache{
+		dir:        cfg.Dir,
+		maxRetries: cfg.MaxRetries,
+		retryBase:  cfg.RetryBase,
+		faults:     cfg.Faults,
+		jitter:     rand.New(rand.NewSource(cfg.RetrySeed)),
+		index:      make(map[uint64]struct{}),
+	}
+	if c.maxRetries <= 0 {
+		c.maxRetries = DefaultMaxRetries
+	}
+	if c.retryBase <= 0 {
+		c.retryBase = DefaultRetryBase
+	}
+	ents, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: scan dir: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, ".res-") && strings.HasSuffix(name, ".tmp"):
+			// A writer died between CreateTemp and rename; the live
+			// namespace never saw the entry, so the residue is garbage.
+			os.Remove(filepath.Join(cfg.Dir, name))
+			c.tempSwept++
+		case strings.HasPrefix(name, "res-") && strings.HasSuffix(name, ".teco"):
+			if key, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "res-"), ".teco"), 16, 64); err == nil {
+				c.index[key] = struct{}{}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Len returns the number of keys believed present.
+func (c *Cache) Len() int {
+	c.indexMu.Lock()
+	defer c.indexMu.Unlock()
+	return len(c.index)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Puts:           c.puts.Load(),
+		PutNoops:       c.putNoops.Load(),
+		CorruptDropped: c.corrupt.Load(),
+		Retries:        c.retries.Load(),
+		TempSwept:      c.tempSwept,
+	}
+}
+
+// EntryPath returns the file a key lives in — the handle the chaos harness
+// hands to checkpoint.FlipBit / checkpoint.TruncateTail.
+func (c *Cache) EntryPath(key uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("res-%016x.teco", key))
+}
+
+// Get returns the payload stored under key. A missing entry is (nil, false,
+// nil). A corrupt entry — flipped bit, truncated tail, torn frame — is
+// detected by CRC, removed, counted in Stats.CorruptDropped, and reported
+// as a miss so the caller recomputes; it is never served.
+func (c *Cache) Get(key uint64) ([]byte, bool, error) {
+	path := c.EntryPath(key)
+	var buf []byte
+	err := c.withRetry(func() error {
+		var err error
+		buf, err = c.readFile(path)
+		return err
+	})
+	if err != nil {
+		if os.IsNotExist(err) {
+			c.misses.Add(1)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("diskcache: get %016x: %w", key, err)
+	}
+	payload, err := decode(buf, key)
+	if err != nil {
+		// Fail closed: drop the damaged file so the next Put rewrites it,
+		// and report a miss. The payload bytes never leave this function.
+		os.Remove(path)
+		c.indexMu.Lock()
+		delete(c.index, key)
+		c.indexMu.Unlock()
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	c.hits.Add(1)
+	return payload, true, nil
+}
+
+// Put durably stores payload under key using the crash-safe sequence:
+// write to a temp file, fsync it, rename into place, fsync the directory.
+// An entry that already exists and verifies is left untouched (the cache is
+// content-addressed — equal key means equal bytes). Transient I/O errors
+// are retried with backoff; an injected crash aborts immediately, leaving
+// at most a temp file that the next Open sweeps.
+func (c *Cache) Put(key uint64, payload []byte) error {
+	if existing, ok, _ := c.Get(key); ok {
+		// Get already CRC-verified the entry. Equal keys must carry equal
+		// bytes; a mismatch means the keying upstream is broken, which must
+		// surface loudly rather than silently serve either version.
+		if string(existing) != string(payload) {
+			return fmt.Errorf("diskcache: put %016x: existing entry differs from new payload (non-canonical key derivation?)", key)
+		}
+		c.putNoops.Add(1)
+		return nil
+	}
+	wire := encode(key, payload)
+	err := c.withRetry(func() error { return c.writeEntry(key, wire) })
+	if err != nil {
+		return fmt.Errorf("diskcache: put %016x: %w", key, err)
+	}
+	c.indexMu.Lock()
+	c.index[key] = struct{}{}
+	c.indexMu.Unlock()
+	c.puts.Add(1)
+	// Post-commit media faults (silent bit rot) for the chaos harness.
+	if c.faults != nil {
+		c.faults.afterCommit(c.EntryPath(key))
+	}
+	return nil
+}
+
+// Close flushes the directory metadata (a final fsync, so every rename is
+// durable before the process exits) and detaches the handle. The in-memory
+// index needs no persisting — it is rebuilt from the directory on Open.
+func (c *Cache) Close() error {
+	return syncDir(c.dir)
+}
+
+// writeEntry is one attempt at the atomic durable write.
+func (c *Cache) writeEntry(key uint64, wire []byte) error {
+	f, err := os.CreateTemp(c.dir, ".res-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		// An injected crash is the process dying mid-write: nobody is left
+		// to clean up, so the temp file stays for Open's sweep to find.
+		if !errors.Is(err, ErrCrashed) {
+			os.Remove(tmp)
+		}
+		return err
+	}
+	if err := c.writeAll(f, wire); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.EntryPath(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(c.dir)
+}
+
+// writeAll pushes wire through the fault plan (which may delay, error,
+// short-write or crash) or straight to the file when running clean.
+func (c *Cache) writeAll(f *os.File, wire []byte) error {
+	if c.faults == nil {
+		_, err := f.Write(wire)
+		return err
+	}
+	return c.faults.write(f, wire)
+}
+
+// readFile reads a whole entry through the fault plan.
+func (c *Cache) readFile(path string) ([]byte, error) {
+	if c.faults != nil {
+		if err := c.faults.beforeRead(); err != nil {
+			return nil, err
+		}
+	}
+	return os.ReadFile(path)
+}
+
+// withRetry runs op, retrying transient failures with exponential backoff
+// plus seeded jitter. Not-exist errors (a plain miss) and injected crashes
+// (the process is "dead") pass straight through.
+func (c *Cache) withRetry(op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || os.IsNotExist(err) || errors.Is(err, ErrCrashed) {
+			return err
+		}
+		if attempt >= c.maxRetries {
+			return err
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// backoff returns the sleep before retry `attempt`: retryBase << attempt,
+// plus up to 50% jitter so synchronized retry storms decorrelate.
+func (c *Cache) backoff(attempt int) time.Duration {
+	d := c.retryBase << uint(attempt)
+	c.jitterMu.Lock()
+	j := time.Duration(c.jitter.Int63n(int64(d)/2 + 1))
+	c.jitterMu.Unlock()
+	return d + j
+}
+
+// encode frames a payload: magic, version, key, payload length, payload,
+// then a CRC-16 over everything before it — the same CRC the CXL link and
+// the checkpoint sections use, so a flip anywhere in the file fails closed.
+func encode(key uint64, payload []byte) []byte {
+	out := make([]byte, 0, overhead+len(payload))
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, key)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	crc := cxl.UpdateCRC16(0xFFFF, out)
+	return binary.LittleEndian.AppendUint16(out, crc)
+}
+
+// decode verifies an entry wire image against the key it was looked up
+// under and returns the payload. Every violation wraps ErrCorrupt.
+func decode(buf []byte, key uint64) ([]byte, error) {
+	if len(buf) < overhead {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the frame", ErrCorrupt, len(buf))
+	}
+	if string(buf[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(buf[len(Magic):]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	if k := binary.LittleEndian.Uint64(buf[len(Magic)+2:]); k != key {
+		return nil, fmt.Errorf("%w: entry key %016x under name for %016x", ErrCorrupt, k, key)
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[len(Magic)+10:]))
+	if len(buf) != overhead+plen {
+		return nil, fmt.Errorf("%w: %d bytes for %d-byte payload", ErrCorrupt, len(buf), plen)
+	}
+	crc := cxl.UpdateCRC16(0xFFFF, buf[:headerLen+plen])
+	if crc != binary.LittleEndian.Uint16(buf[headerLen+plen:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return buf[headerLen : headerLen+plen], nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,159 @@
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"teco/internal/checkpoint"
+)
+
+// This file is the cache layer's fault-injection hook: the chaos harness
+// configures a Faults plan and the cache routes every entry write/read
+// through it. Four failure families are modeled — slow I/O, transient
+// write errors, short (torn) writes, and an injected crash that stops a
+// write dead at an exact byte offset — plus post-commit media corruption
+// (bit flips and tail truncation) applied with the checkpoint subsystem's
+// FlipBit/TruncateTail harness, so the same damage model proven against
+// snapshots is proven against cache entries.
+
+// ErrCrashed is the injected kill -9: a write stopped at an arbitrary byte
+// with no cleanup. The cache never retries it — the simulated process is
+// dead — and the harness "reboots" by calling Open on the same directory.
+var ErrCrashed = errors.New("diskcache: injected crash mid-write")
+
+// errInjected marks a transient injected failure (retried with backoff).
+var errInjected = errors.New("diskcache: injected transient I/O error")
+
+// Faults is a deterministic, seeded fault plan. Every Nth-style knob counts
+// its own event stream; zero disables that family. Safe for concurrent use.
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Delay sleeps before every entry read and write — slow media.
+	Delay time.Duration
+	// WriteErrEvery fails every Nth write attempt with a transient error.
+	WriteErrEvery int
+	// ShortWriteEvery cuts every Nth write attempt roughly in half and then
+	// fails it — a torn write the atomic rename must contain.
+	ShortWriteEvery int
+	// FlipBitEvery flips one random bit of every Nth committed entry —
+	// silent media corruption that only the CRC can catch.
+	FlipBitEvery int
+	// TruncateEvery removes a random tail of every Nth committed entry.
+	TruncateEvery int
+
+	writes, commits int
+	crashAfter      int64 // -1: disarmed; else stop the next write at this byte
+	crashes         int
+	flips, truncs   int
+}
+
+// NewFaults returns a fault plan with every family disabled; the caller
+// arms the knobs it wants. The seed drives flip/truncate positions and
+// short-write lengths.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed)), crashAfter: -1}
+}
+
+// CrashNextWriteAfter arms a one-shot crash: the next entry write stops
+// after exactly n bytes and returns ErrCrashed, leaving the temp file in
+// place exactly as kill -9 would.
+func (f *Faults) CrashNextWriteAfter(n int64) {
+	f.mu.Lock()
+	f.crashAfter = n
+	f.mu.Unlock()
+}
+
+// Crashes reports how many injected crashes fired.
+func (f *Faults) Crashes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashes
+}
+
+// Corruptions reports committed-entry damage injected so far (flips,
+// truncations).
+func (f *Faults) Corruptions() (flips, truncations int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flips, f.truncs
+}
+
+// write pushes wire into f's failure model: full write, short write,
+// transient error, or crash at a byte offset.
+func (f *Faults) write(file *os.File, wire []byte) error {
+	f.mu.Lock()
+	if f.Delay > 0 {
+		delay := f.Delay
+		f.mu.Unlock()
+		time.Sleep(delay)
+		f.mu.Lock()
+	}
+	f.writes++
+	if f.crashAfter >= 0 {
+		n := f.crashAfter
+		if n > int64(len(wire)) {
+			n = int64(len(wire))
+		}
+		f.crashAfter = -1
+		f.crashes++
+		f.mu.Unlock()
+		if n > 0 {
+			file.Write(wire[:n]) // the bytes that made it out before death
+			file.Sync()
+		}
+		return fmt.Errorf("%w (at byte %d of %d)", ErrCrashed, n, len(wire))
+	}
+	if f.WriteErrEvery > 0 && f.writes%f.WriteErrEvery == 0 {
+		f.mu.Unlock()
+		return fmt.Errorf("%w (write %s)", errInjected, file.Name())
+	}
+	if f.ShortWriteEvery > 0 && f.writes%f.ShortWriteEvery == 0 {
+		cut := 1 + f.rng.Intn(len(wire))
+		f.mu.Unlock()
+		file.Write(wire[:cut])
+		return fmt.Errorf("%w (short write: %d of %d bytes)", errInjected, cut, len(wire))
+	}
+	f.mu.Unlock()
+	_, err := file.Write(wire)
+	return err
+}
+
+// beforeRead applies the slow-I/O model to reads.
+func (f *Faults) beforeRead() error {
+	f.mu.Lock()
+	delay := f.Delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// afterCommit damages every Nth durably committed entry in place using the
+// checkpoint corruption harness — the "disk rotted underneath us" case the
+// CRC must catch on the next Get.
+func (f *Faults) afterCommit(path string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.commits++
+	if f.FlipBitEvery > 0 && f.commits%f.FlipBitEvery == 0 {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			if checkpoint.FlipBit(path, f.rng.Int63n(fi.Size()*8)) == nil {
+				f.flips++
+			}
+		}
+	}
+	if f.TruncateEvery > 0 && f.commits%f.TruncateEvery == 0 {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			if checkpoint.TruncateTail(path, 1+f.rng.Int63n(fi.Size())) == nil {
+				f.truncs++
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -45,6 +46,22 @@ type Options struct {
 	// instead of the flow-coalescing fast path (tecosim -coalesce=false).
 	// Tables are bit-identical in both modes; only wall-clock differs.
 	PerLine bool
+	// Ctx, when non-nil, bounds the whole generation: the sweep pool stops
+	// dispatching grid points and returns as soon as it is cancelled (the
+	// sweep service threads per-request deadlines through here). A
+	// cancelled generation yields tables with zero-value cells for the
+	// unreached points — callers that observe Ctx.Err() != nil after
+	// generating must discard the result. Like Workers/NoMemo/PerLine it
+	// is pure scheduling: it never appears in a fingerprint.
+	Ctx context.Context
+}
+
+// context returns the generation-bounding context (Background when unset).
+func (opt Options) context() context.Context {
+	if opt.Ctx != nil {
+		return opt.Ctx
+	}
+	return context.Background()
 }
 
 // validateRecovery rejects recovery-sweep options before any cell runs.

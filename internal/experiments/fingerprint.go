@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns the canonical 64-bit identity of "experiment id run
+// under these options" — the cache and request-coalescing key of the sweep
+// service. It follows the realtrain configTag / checkpoint ConfigTag
+// scheme (FNV-64a over the %+v image of the canonicalized struct) and
+// canonicalizes by zeroing every knob that is pure scheduling — Workers,
+// NoMemo, PerLine, Ctx, and the CkptDir scratch root — because the
+// determinism harnesses prove those cannot change a single output byte:
+// requests that differ only in scheduling share one cache entry and one
+// in-flight computation.
+//
+// Everything result-affecting stays in the key: the id, Seed, the fault
+// knobs (BER, RetryBudget, Degrade), and the recovery-sweep shape
+// (CkptInterval, CrashAt — recovery is bit-identical by construction, but
+// the sweep's *reported* recovery statistics depend on both).
+func (opt Options) Fingerprint(id string) uint64 {
+	c := opt
+	c.Workers = 0
+	c.NoMemo = false
+	c.PerLine = false
+	c.Ctx = nil
+	c.CkptDir = ""
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%+v", id, c)
+	return h.Sum64()
+}

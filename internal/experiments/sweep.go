@@ -9,16 +9,26 @@ import (
 // grid evaluates fn over every index of an n-point experiment grid on the
 // option's sweep pool (Workers <= 0: GOMAXPROCS, 1: serial) and returns the
 // values in grid order regardless of completion order — table rows come out
-// identical at every worker count.
+// identical at every worker count. When the option carries a context, a
+// cancelled grid stops dispatching and returns immediately (RunCtx) with
+// zero values for every unreached point; callers that care must check
+// opt.Ctx.Err() after generating (the sweep service does) because the
+// generators themselves are infallible.
 func grid[T any](opt Options, n int, fn func(i int) T) []T {
-	out, _ := parallel.Run(context.Background(), opt.Workers, n,
+	out, err := parallel.RunCtx(opt.context(), opt.Workers, n,
 		func(_ context.Context, i int) (T, error) { return fn(i), nil })
+	if err != nil || out == nil {
+		// Cancelled mid-sweep: RunCtx withholds its (possibly still being
+		// written) result storage, so hand back stable zero values — the
+		// generators index into the slice unconditionally.
+		return make([]T, n)
+	}
 	return out
 }
 
 // gridErr is grid for cells that can fail: the lowest-indexed error cancels
 // the sweep and is returned, so the reported failure is deterministic.
 func gridErr[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
-	return parallel.Run(context.Background(), opt.Workers, n,
+	return parallel.Run(opt.context(), opt.Workers, n,
 		func(_ context.Context, i int) (T, error) { return fn(i) })
 }

@@ -30,6 +30,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -139,6 +140,106 @@ func Run[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	}
 	return out, nil
 }
+
+// RunCtx is Run with a hard cancellation guarantee for long-running grids:
+// when ctx is cancelled it returns ctx.Err() immediately — without waiting
+// for in-flight points to finish — instead of draining the rest of the
+// grid. Workers stop picking up new points, finish (and discard) their
+// current one, and exit on their own; the sweep service uses this so a
+// request deadline is honoured even when a single grid point runs for
+// seconds. On cancellation the returned slice is nil: in-flight points may
+// still be writing into the abandoned result storage, so no partial results
+// can be exposed. A clean completion returns exactly what Run returns.
+func RunCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		n = 0
+	}
+	workers = Resolve(workers)
+	if workers <= 1 || n <= 1 {
+		// The serial path checks ctx between points, so it already returns
+		// promptly (point granularity) and has no workers to abandon.
+		return Run(ctx, 1, n, fn)
+	}
+	type result struct {
+		out []T
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := Run(ctx, workers, n, fn)
+		done <- result{out, err}
+	}()
+	select {
+	case r := <-done:
+		return r.out, r.err
+	case <-ctx.Done():
+		// The inner Run observes the same ctx, stops dispatching, joins its
+		// workers and sends on the buffered channel — no goroutine leaks,
+		// the caller just doesn't wait for the join.
+		return nil, ctx.Err()
+	}
+}
+
+// ErrSaturated reports an admission queue at capacity: the work was shed,
+// not queued. Callers translate it into back-pressure (the sweep service
+// answers 503 with Retry-After).
+var ErrSaturated = errors.New("parallel: admission queue saturated")
+
+// Gate is a bounded admission queue: at most `slots` holders run at once
+// and at most `queue` waiters block for a slot; anything beyond that is
+// shed immediately with ErrSaturated. It is the load-shedding front door of
+// the sweep service — compute never oversubscribes and waiting is bounded,
+// so overload degrades into fast, explicit rejections instead of latency
+// collapse.
+type Gate struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// NewGate builds a gate with `slots` concurrent holders (<= 0: GOMAXPROCS)
+// and `queue` waiting places (< 0: 0, shed as soon as the slots are full).
+func NewGate(slots, queue int) *Gate {
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{
+		slots:    make(chan struct{}, Resolve(slots)),
+		maxQueue: int64(queue),
+	}
+}
+
+// Enter claims a slot, waiting in the bounded queue if none is free. It
+// returns ErrSaturated when the queue is full (load shed) and ctx.Err()
+// when the caller's deadline expires while queued. A nil return must be
+// paired with exactly one Leave.
+func (g *Gate) Enter(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return ErrSaturated
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases a slot claimed by Enter.
+func (g *Gate) Leave() { <-g.slots }
+
+// InFlight returns the number of currently held slots.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Queued returns the number of callers blocked waiting for a slot.
+func (g *Gate) Queued() int { return int(g.queued.Load()) }
 
 // chunkQuantum is the fixed chunk size (in elements) of ForChunks and
 // MapChunks. Boundaries are multiples of the quantum regardless of the

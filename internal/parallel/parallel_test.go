@@ -269,6 +269,142 @@ func TestFirstIndexDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunCtxReturnsImmediatelyOnCancel is the sweep-service contract: a
+// cancelled sweep must not drain the grid, must not wait for a slow
+// in-flight point, and must still release every worker with no goroutine
+// leak once that point finishes.
+func TestRunCtxReturnsImmediatelyOnCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int64
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	out, err := RunCtx(ctx, 4, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i < 4 {
+			<-release // the first wave blocks far past the cancellation
+		}
+		return i, nil
+	})
+	returned := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled RunCtx must not expose partial results")
+	}
+	if returned > time.Second {
+		t.Fatalf("RunCtx took %v to notice cancellation — it drained instead of returning", returned)
+	}
+	if started.Load() == 1000 {
+		t.Fatal("cancellation did not stop the sweep")
+	}
+	close(release) // let the abandoned workers finish their point
+	waitForGoroutines(t, before)
+}
+
+// TestRunCtxCleanCompletion: without cancellation RunCtx is Run.
+func TestRunCtxCleanCompletion(t *testing.T) {
+	before := runtime.NumGoroutine()
+	out, err := RunCtx(context.Background(), 3, 50, func(_ context.Context, i int) (int, error) {
+		return i * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestGateAdmitsUpToSlots(t *testing.T) {
+	g := NewGate(2, 4)
+	ctx := context.Background()
+	if err := g.Enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", g.InFlight())
+	}
+	g.Leave()
+	g.Leave()
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after Leave, want 0", g.InFlight())
+	}
+}
+
+// TestGateShedsBeyondQueue fills the slots and the queue and asserts the
+// next caller is shed immediately with ErrSaturated, not blocked.
+func TestGateShedsBeyondQueue(t *testing.T) {
+	const slots, queue = 2, 3
+	g := NewGate(slots, queue)
+	ctx := context.Background()
+	for i := 0; i < slots; i++ {
+		if err := g.Enter(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queuedErrs := make(chan error, queue)
+	for i := 0; i < queue; i++ {
+		go func() { queuedErrs <- g.Enter(ctx) }()
+	}
+	// Wait until all three are actually queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Queued() != queue {
+		if time.Now().After(deadline) {
+			t.Fatalf("Queued = %d, want %d", g.Queued(), queue)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := g.Enter(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow Enter = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("shedding took %v — must be immediate", d)
+	}
+	// Draining the slots admits the queued callers.
+	g.Leave()
+	g.Leave()
+	for i := 0; i < 2; i++ {
+		if err := <-queuedErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Leave() // one of the admitted pair
+	if err := <-queuedErrs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateQueuedCancellation: a queued caller whose deadline expires leaves
+// the queue with ctx.Err() and frees its waiting place.
+func TestGateQueuedCancellation(t *testing.T) {
+	g := NewGate(1, 2)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Enter(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Enter = %v, want DeadlineExceeded", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("Queued = %d after timeout, want 0", g.Queued())
+	}
+	g.Leave()
+}
+
 // waitForGoroutines asserts the goroutine count returns to (roughly) the
 // pre-call level — the pool joins every worker before returning.
 func waitForGoroutines(t *testing.T, before int) {
