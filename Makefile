@@ -15,9 +15,11 @@ all: build vet test
 check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 40m ./...
+	$(GO) test -count=1 -run 'TestFabricChaos' ./internal/realtrain
 	$(GO) test -fuzz='FuzzDecode$$' -fuzztime=10s ./internal/cxl
 	$(GO) test -fuzz='FuzzDecodeFramed$$' -fuzztime=10s ./internal/cxl
 	$(GO) test -fuzz='FuzzDecodeSnapshot$$' -fuzztime=10s ./internal/checkpoint
+	$(GO) test -fuzz='FuzzDecodeFrame$$' -fuzztime=10s ./internal/fabric
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
@@ -56,12 +58,15 @@ perfgate:
 
 # Chaos soak: SIGKILL the real tecosimd daemon in a loop under cache fault
 # injection (bit flips, truncations, short writes, transient errors) and
-# verify every response against the seed-42 conformance references.
-# SOAK_SECS bounds the wall clock; the in-process chaos harness in
-# internal/server runs unconditionally under plain `make test`.
+# verify every response against the seed-42 conformance references, then
+# repeat the fabric kill-one-port chaos proof under the race detector.
+# SOAK_SECS bounds the daemon half; the in-process chaos harnesses in
+# internal/server and internal/realtrain run unconditionally under plain
+# `make test`.
 SOAK_SECS ?= 30
 soak:
 	SOAK_SECS=$(SOAK_SECS) $(GO) test -count=1 -v -run 'TestDaemonChaosSoak' ./internal/server
+	$(GO) test -race -count=3 -run 'TestFabricChaos' ./internal/realtrain
 
 # Regenerate every paper table/figure (plus the extension experiments) as
 # markdown on stdout.
@@ -73,6 +78,8 @@ experiments:
 	$(GO) run ./cmd/tecosim -markdown linkspeed
 	$(GO) run ./cmd/tecosim -markdown -degrade faults
 	$(GO) run ./cmd/tecosim -markdown recovery
+	$(GO) run ./cmd/tecosim -markdown fabric
+	$(GO) run ./cmd/tecosim -markdown fabric-faults
 
 # Re-pin the conformance goldens: regenerate every paper-figure table at
 # the canonical seed into internal/conformance/testdata/golden, the render

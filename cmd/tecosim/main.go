@@ -29,6 +29,10 @@ func main() {
 	ckptInterval := flag.Int("ckpt-interval", 0, "checkpoint interval in steps for the recovery sweep (0: default grid)")
 	ckptDir := flag.String("ckpt-dir", "", "root directory for recovery-sweep checkpoints (default: system temp)")
 	crashAt := flag.Int("crash-at", 0, "kill and restore each recovery-sweep run at this step (0: no crash)")
+	replicas := flag.Int("replicas", 0, "data-parallel width for the fabric sweep (0: default grid)")
+	hostPorts := flag.Int("host-ports", 0, "fabric spine uplink count (0: oversubscription grid)")
+	killPort := flag.Int("kill-port", 0, "1-based fabric port to kill in the fault sweep (0: default)")
+	killStep := flag.Int("kill-step", 0, "fine-tuning step at which the fabric chaos kill fires (0: default)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS, 1: serial); tables are identical at every setting")
 	noMemo := flag.Bool("no-memo", false, "disable shared-run memoization across experiments (slower, identical output)")
 	coalesce := flag.Bool("coalesce", true, "flow-coalescing fast path for the stream simulator; false runs the bit-identical per-line reference path (slow)")
@@ -67,6 +71,10 @@ func main() {
 		CkptInterval: *ckptInterval,
 		CkptDir:      *ckptDir,
 		CrashAt:      *crashAt,
+		Replicas:     *replicas,
+		HostPorts:    *hostPorts,
+		KillPort:     *killPort,
+		KillStep:     *killStep,
 		Workers:      *workers,
 		NoMemo:       *noMemo,
 		PerLine:      !*coalesce,

@@ -39,6 +39,7 @@ func run() error {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8723", "listen address")
 		cacheDir     = flag.String("cache-dir", "", "result cache directory (required)")
+		cacheMax     = flag.Int64("cache-max-bytes", 0, "on-disk cache size bound; LRU results evicted past it (0: unbounded)")
 		slots        = flag.Int("slots", 2, "concurrently executing computations")
 		queue        = flag.Int("queue", 64, "cold requests allowed to wait for a slot before shedding")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
@@ -71,6 +72,7 @@ func run() error {
 
 	srv, err := server.New(server.Config{
 		CacheDir:       *cacheDir,
+		CacheMaxBytes:  *cacheMax,
 		Slots:          *slots,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,

@@ -21,12 +21,14 @@
 package diskcache
 
 import (
+	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -73,6 +75,11 @@ type Config struct {
 	RetryBase time.Duration
 	// RetrySeed seeds the backoff jitter stream.
 	RetrySeed int64
+	// MaxBytes bounds the cache's on-disk footprint (entry files, framing
+	// included). When a Put would push past it, least-recently-used entries
+	// are evicted first; a payload too large to ever fit is not stored at
+	// all. 0 means unbounded.
+	MaxBytes int64
 	// Faults optionally injects I/O failures — the chaos harness's handle
 	// on the cache. Nil runs clean.
 	Faults *Faults
@@ -94,6 +101,13 @@ type Stats struct {
 	// TempSwept counts leftover temp files removed by Open — the residue of
 	// crashes mid-write.
 	TempSwept int64
+	// Evictions and EvictedBytes count entries (and their on-disk bytes)
+	// removed to respect Config.MaxBytes; OversizePuts counts payloads never
+	// stored because they could not fit even in an empty cache.
+	Evictions, EvictedBytes, OversizePuts int64
+	// SizeBytes is the current on-disk footprint of all live entries — the
+	// one gauge among these counters.
+	SizeBytes int64
 }
 
 // Cache is a handle on one cache directory. It is safe for concurrent use.
@@ -101,6 +115,7 @@ type Cache struct {
 	dir        string
 	maxRetries int
 	retryBase  time.Duration
+	maxBytes   int64
 	faults     *Faults
 
 	jitterMu sync.Mutex
@@ -108,20 +123,37 @@ type Cache struct {
 
 	hits, misses, puts, putNoops atomic.Int64
 	corrupt, retries             atomic.Int64
+	evictions, evictedBytes      atomic.Int64
+	oversize                     atomic.Int64
 	tempSwept                    int64
 
-	indexMu sync.Mutex
-	index   map[uint64]struct{} // keys believed present (advisory)
+	indexMu   sync.Mutex
+	index     map[uint64]*entry // keys believed present (advisory)
+	lru       *list.List        // front = most recently used; values are uint64 keys
+	sizeBytes int64             // on-disk bytes of all indexed entries
+}
+
+// entry is the index's per-key record: the entry file's size and its slot
+// in the recency list.
+type entry struct {
+	size int64
+	elem *list.Element
 }
 
 // Open opens (creating if needed) a cache directory, sweeps temp files left
 // by crashed writers, and builds the in-memory key index from the directory
 // listing. There is deliberately no separate index file: the directory is
-// the index, so there is nothing extra to tear in a crash. Entries are
-// validated lazily — Get CRC-checks every byte it serves.
+// the index, so there is nothing extra to tear in a crash, and recency is
+// rebuilt from file modification times (oldest = least recently used).
+// Entries are validated lazily — Get CRC-checks every byte it serves. A
+// directory over Config.MaxBytes (the bound shrank, or a crash landed
+// between an eviction and its write) is trimmed back under it here.
 func Open(cfg Config) (*Cache, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("diskcache: empty cache directory")
+	}
+	if cfg.MaxBytes < 0 {
+		return nil, fmt.Errorf("diskcache: negative size bound %d", cfg.MaxBytes)
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: create dir: %w", err)
@@ -130,9 +162,11 @@ func Open(cfg Config) (*Cache, error) {
 		dir:        cfg.Dir,
 		maxRetries: cfg.MaxRetries,
 		retryBase:  cfg.RetryBase,
+		maxBytes:   cfg.MaxBytes,
 		faults:     cfg.Faults,
 		jitter:     rand.New(rand.NewSource(cfg.RetrySeed)),
-		index:      make(map[uint64]struct{}),
+		index:      make(map[uint64]*entry),
+		lru:        list.New(),
 	}
 	if c.maxRetries <= 0 {
 		c.maxRetries = DefaultMaxRetries
@@ -144,6 +178,12 @@ func Open(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diskcache: scan dir: %w", err)
 	}
+	type found struct {
+		key   uint64
+		size  int64
+		mtime time.Time
+	}
+	var live []found
 	for _, e := range ents {
 		name := e.Name()
 		switch {
@@ -153,10 +193,31 @@ func Open(cfg Config) (*Cache, error) {
 			os.Remove(filepath.Join(cfg.Dir, name))
 			c.tempSwept++
 		case strings.HasPrefix(name, "res-") && strings.HasSuffix(name, ".teco"):
-			if key, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "res-"), ".teco"), 16, 64); err == nil {
-				c.index[key] = struct{}{}
+			key, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "res-"), ".teco"), 16, 64)
+			if err != nil {
+				continue
 			}
+			info, err := e.Info()
+			if err != nil {
+				continue // raced with a concurrent eviction; not indexed
+			}
+			live = append(live, found{key, info.Size(), info.ModTime()})
 		}
+	}
+	// Oldest first, name as the tiebreak, so inserting in order leaves the
+	// newest entry at the recency front deterministically.
+	sort.Slice(live, func(i, j int) bool {
+		if !live[i].mtime.Equal(live[j].mtime) {
+			return live[i].mtime.Before(live[j].mtime)
+		}
+		return live[i].key < live[j].key
+	})
+	for _, f := range live {
+		c.index[f.key] = &entry{size: f.size, elem: c.lru.PushFront(f.key)}
+		c.sizeBytes += f.size
+	}
+	if err := c.evictFor(0); err != nil {
+		return nil, fmt.Errorf("diskcache: trim to size bound: %w", err)
 	}
 	return c, nil
 }
@@ -173,6 +234,9 @@ func (c *Cache) Len() int {
 
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache) Stats() Stats {
+	c.indexMu.Lock()
+	size := c.sizeBytes
+	c.indexMu.Unlock()
 	return Stats{
 		Hits:           c.hits.Load(),
 		Misses:         c.misses.Load(),
@@ -181,6 +245,10 @@ func (c *Cache) Stats() Stats {
 		CorruptDropped: c.corrupt.Load(),
 		Retries:        c.retries.Load(),
 		TempSwept:      c.tempSwept,
+		Evictions:      c.evictions.Load(),
+		EvictedBytes:   c.evictedBytes.Load(),
+		OversizePuts:   c.oversize.Load(),
+		SizeBytes:      size,
 	}
 }
 
@@ -215,12 +283,17 @@ func (c *Cache) Get(key uint64) ([]byte, bool, error) {
 		// and report a miss. The payload bytes never leave this function.
 		os.Remove(path)
 		c.indexMu.Lock()
-		delete(c.index, key)
+		c.dropLocked(key)
 		c.indexMu.Unlock()
 		c.corrupt.Add(1)
 		c.misses.Add(1)
 		return nil, false, nil
 	}
+	c.indexMu.Lock()
+	if e, ok := c.index[key]; ok {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.indexMu.Unlock()
 	c.hits.Add(1)
 	return payload, true, nil
 }
@@ -243,13 +316,40 @@ func (c *Cache) Put(key uint64, payload []byte) error {
 		return nil
 	}
 	wire := encode(key, payload)
+	if c.maxBytes > 0 && int64(len(wire)) > c.maxBytes {
+		// Storing it would evict everything and still blow the bound; the
+		// caller simply recomputes on every lookup.
+		c.oversize.Add(1)
+		return nil
+	}
+	// Make room first: evictions are removed and made durable before the
+	// new entry's rename, so a crash at any point leaves the directory
+	// within the bound (modulo the entry being written, which the next
+	// Open's trim covers).
+	if err := c.evictFor(int64(len(wire))); err != nil {
+		return fmt.Errorf("diskcache: put %016x: evict: %w", key, err)
+	}
 	err := c.withRetry(func() error { return c.writeEntry(key, wire) })
 	if err != nil {
 		return fmt.Errorf("diskcache: put %016x: %w", key, err)
 	}
 	c.indexMu.Lock()
-	c.index[key] = struct{}{}
+	if e, ok := c.index[key]; ok {
+		// Raced with a concurrent Put of the same key: keep one record.
+		c.sizeBytes += int64(len(wire)) - e.size
+		e.size = int64(len(wire))
+		c.lru.MoveToFront(e.elem)
+	} else {
+		c.index[key] = &entry{size: int64(len(wire)), elem: c.lru.PushFront(key)}
+		c.sizeBytes += int64(len(wire))
+	}
 	c.indexMu.Unlock()
+	// Concurrent Puts may each have seen room for their own entry; a final
+	// trim restores the bound (the fresh entry sits at the recency front,
+	// so it is the last possible victim).
+	if err := c.evictFor(0); err != nil {
+		return fmt.Errorf("diskcache: put %016x: trim: %w", key, err)
+	}
 	c.puts.Add(1)
 	// Post-commit media faults (silent bit rot) for the chaos harness.
 	if c.faults != nil {
@@ -262,6 +362,55 @@ func (c *Cache) Put(key uint64, payload []byte) error {
 // durable before the process exits) and detaches the handle. The in-memory
 // index needs no persisting — it is rebuilt from the directory on Open.
 func (c *Cache) Close() error {
+	return syncDir(c.dir)
+}
+
+// dropLocked removes key from the index and recency list. indexMu held.
+func (c *Cache) dropLocked(key uint64) {
+	if e, ok := c.index[key]; ok {
+		c.lru.Remove(e.elem)
+		c.sizeBytes -= e.size
+		delete(c.index, key)
+	}
+}
+
+// evictFor removes least-recently-used entries until `need` more on-disk
+// bytes fit under the size bound, then fsyncs the directory so every delete
+// is durable before the caller writes. The crash-safe ordering is
+// remove-then-sync-then-write: each entry file is individually atomic, so a
+// crash anywhere leaves a valid subset of entries, and the deletes land on
+// disk before the bytes they made room for.
+func (c *Cache) evictFor(need int64) error {
+	if c.maxBytes == 0 {
+		return nil
+	}
+	c.indexMu.Lock()
+	var victims []uint64
+	var freed int64
+	for c.sizeBytes+need > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		key := back.Value.(uint64)
+		freed += c.index[key].size
+		victims = append(victims, key)
+		// Unlink now (dropLocked shrinks sizeBytes) so concurrent Puts
+		// don't pick the same victim; the file itself is removed after the
+		// lock drops.
+		c.dropLocked(key)
+	}
+	c.indexMu.Unlock()
+	if len(victims) == 0 {
+		return nil
+	}
+	for _, key := range victims {
+		if err := os.Remove(c.EntryPath(key)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		c.evictions.Add(1)
+	}
+	c.evictedBytes.Add(freed)
 	return syncDir(c.dir)
 }
 

@@ -538,6 +538,8 @@ func AllWith(opt Options) []*Table {
 		func() []*Table { return []*Table{LAMMPS()} },
 		func() []*Table { return []*Table{FaultSweep(opt)} },
 		func() []*Table { return []*Table{RecoverySweep(opt)} },
+		func() []*Table { return []*Table{FabricSweep(opt)} },
+		func() []*Table { return []*Table{FabricFaultSweep(opt)} },
 	}
 	var out []*Table
 	for _, tabs := range grid(opt, len(gens), func(i int) []*Table { return gens[i]() }) {
@@ -565,6 +567,16 @@ func ByIDWith(id string, opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		return []*Table{RecoverySweep(opt)}, nil
+	case "fabric":
+		if err := opt.validateFabric(); err != nil {
+			return nil, err
+		}
+		return []*Table{FabricSweep(opt)}, nil
+	case "fabric-faults":
+		if err := opt.validateFabric(); err != nil {
+			return nil, err
+		}
+		return []*Table{FabricFaultSweep(opt)}, nil
 	case "table1":
 		return []*Table{TableIWith(opt)}, nil
 	case "fig2", "fig2a", "fig2b":
@@ -612,5 +624,5 @@ func IDs() []string {
 	return []string{"table1", "fig2", "ablation-inval", "fig11", "table5", "fig10",
 		"fig12", "volume", "table6", "fig13", "table7", "table8", "lammps",
 		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "faults",
-		"recovery", "all"}
+		"recovery", "fabric", "fabric-faults", "all"}
 }

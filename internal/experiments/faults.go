@@ -37,6 +37,18 @@ type Options struct {
 	// GOMAXPROCS for the pool; 1 runs everything serially. Purely a
 	// scheduling knob — every table is identical at every worker count.
 	Workers int
+	// Replicas collapses the fabric sweep's data-parallel-width axis to
+	// one value (0: default grid).
+	Replicas int
+	// HostPorts pins the fabric switch's spine uplink count instead of the
+	// default oversubscription grid (0: grid).
+	HostPorts int
+	// KillPort selects the fabric chaos target port, 1-based (0: the
+	// sweep default).
+	KillPort int
+	// KillStep schedules the fabric chaos kill at that fine-tuning step in
+	// data-parallel training runs (tecosimd's group endpoint).
+	KillStep int
 	// NoMemo disables the shared-run memoization (runcache.go), forcing
 	// every requested fine-tuning run to execute from scratch. The tables
 	// do not change; only wall-clock does. The benchmark harness uses it

@@ -1,0 +1,161 @@
+// Package fabric models a switched CXL fabric: N accelerator-facing ports
+// sharing switch spine bandwidth behind per-port queues, with hop latency,
+// per-port fault domains (the PR 1 cxl.FaultModel composed per link,
+// unchanged), link-down detection, and bounded failover through spare
+// ports. It has the same two planes as the rest of the repo: a timed plane
+// (Switch, driven by internal/core for step timing) and a functional plane
+// (Net, driven by the data-parallel trainer in internal/realtrain, where
+// real frame bytes cross real per-port fault models).
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"teco/internal/cxl"
+	"teco/internal/sim"
+)
+
+// Frame kinds. The fabric routes three traffic classes; anything else on
+// the wire is a codec error, never silently delivered.
+const (
+	// KindGrad carries one sample's gradient tape from a replica to the
+	// host (the data-parallel equivalent of the gradient writeback).
+	KindGrad = 1
+	// KindParam carries a parameter-shard payload: host→replica on the
+	// shard owner's port, then replica→replica for the all-gather leg.
+	KindParam = 2
+	// KindCtl carries replica-group control traffic (join, rebuild).
+	KindCtl = 3
+)
+
+// HostAddr is the frame address of the host port. The host sits on the
+// switch's upstream side and is not an accelerator port, so it gets the
+// reserved address outside the 0..254 accelerator range.
+const HostAddr = 0xFF
+
+// frameVersion is the codec version byte; bumping it invalidates every
+// seed-corpus entry on purpose.
+const frameVersion = 1
+
+// frameHeaderLen is the fixed header: version, kind, src, dst, flow u32,
+// seq u32, payload length u32. A 2-byte CRC-16 (the same CCITT-FALSE
+// polynomial the cxl link layer uses) trails the payload.
+const frameHeaderLen = 1 + 1 + 1 + 1 + 4 + 4 + 4
+
+// frameOverhead is the wire bytes added around the payload.
+const frameOverhead = frameHeaderLen + 2
+
+// maxFramePayload bounds a decoded payload so a hostile length field can
+// never drive an allocation; real fabric payloads are a few KiB.
+const maxFramePayload = 1 << 24
+
+// Codec errors. ErrCRC is distinct from the cxl packet codec's so a test
+// can tell which layer rejected a corrupted image.
+var (
+	ErrShortFrame   = errors.New("fabric: frame too short")
+	ErrFrameVersion = errors.New("fabric: unknown frame version")
+	ErrFrameKind    = errors.New("fabric: unknown frame kind")
+	ErrFrameLength  = errors.New("fabric: frame length mismatch")
+	ErrCRC          = errors.New("fabric: frame CRC mismatch")
+)
+
+// Frame is one routed fabric message: source and destination port
+// addresses (HostAddr for the host side), a traffic class, a flow id (the
+// training step), a sequence number within the flow, and the payload.
+type Frame struct {
+	Src, Dst uint8
+	Kind     uint8
+	Flow     uint32
+	Seq      uint32
+	Payload  []byte
+}
+
+// WireLen is the encoded size of the frame.
+func (f *Frame) WireLen() int { return frameOverhead + len(f.Payload) }
+
+// AppendEncode appends the CRC-protected wire image of f to dst and
+// returns the extended slice. The CRC covers header and payload, so any
+// single corrupted bit anywhere in the image is detected.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
+	if f.Kind != KindGrad && f.Kind != KindParam && f.Kind != KindCtl {
+		return nil, ErrFrameKind
+	}
+	if len(f.Payload) > maxFramePayload {
+		return nil, ErrFrameLength
+	}
+	base := len(dst)
+	var hdr [frameHeaderLen]byte
+	hdr[0] = frameVersion
+	hdr[1] = f.Kind
+	hdr[2] = f.Src
+	hdr[3] = f.Dst
+	binary.LittleEndian.PutUint32(hdr[4:8], f.Flow)
+	binary.LittleEndian.PutUint32(hdr[8:12], f.Seq)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	var tail [2]byte
+	binary.LittleEndian.PutUint16(tail[:], cxl.CRC16(dst[base:]))
+	return append(dst, tail[:]...), nil
+}
+
+// Encode returns the CRC-protected wire image of f.
+func (f *Frame) Encode() ([]byte, error) { return f.AppendEncode(nil) }
+
+// DecodeFrame verifies and decodes one frame image.
+func DecodeFrame(buf []byte) (Frame, error) {
+	var f Frame
+	err := DecodeFrameInto(&f, buf)
+	return f, err
+}
+
+// DecodeFrameInto is DecodeFrame reusing f's payload capacity. f is zeroed
+// on any error: a frame that fails any check — length, version, kind, CRC
+// — is never partially delivered.
+func DecodeFrameInto(f *Frame, buf []byte) error {
+	if len(buf) < frameOverhead {
+		*f = Frame{}
+		return ErrShortFrame
+	}
+	body, tail := buf[:len(buf)-2], buf[len(buf)-2:]
+	if cxl.CRC16(body) != binary.LittleEndian.Uint16(tail) {
+		*f = Frame{}
+		return ErrCRC
+	}
+	if body[0] != frameVersion {
+		*f = Frame{}
+		return ErrFrameVersion
+	}
+	kind := body[1]
+	if kind != KindGrad && kind != KindParam && kind != KindCtl {
+		*f = Frame{}
+		return ErrFrameKind
+	}
+	plen := binary.LittleEndian.Uint32(body[12:16])
+	if plen > maxFramePayload || int(plen) != len(body)-frameHeaderLen {
+		*f = Frame{}
+		return ErrFrameLength
+	}
+	f.Kind = kind
+	f.Src = body[2]
+	f.Dst = body[3]
+	f.Flow = binary.LittleEndian.Uint32(body[4:8])
+	f.Seq = binary.LittleEndian.Uint32(body[8:12])
+	f.Payload = append(f.Payload[:0], body[frameHeaderLen:]...)
+	return nil
+}
+
+// PortDownError reports a send that could not be delivered: the routed
+// port is down and no spare port could take over within the failover
+// budget. At carries the simulated time at which the sender gave up
+// (timed plane) or zero (functional plane).
+type PortDownError struct {
+	Port int
+	At   sim.Time
+}
+
+func (e *PortDownError) Error() string {
+	return fmt.Sprintf("fabric: port %d down, failover exhausted", e.Port)
+}

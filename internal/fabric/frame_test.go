@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"teco/internal/cxl"
+)
+
+// fixupCRC rewrites the trailer so a mutated image passes the CRC layer and
+// exercises the structural checks behind it.
+func fixupCRC(wire []byte) {
+	binary.LittleEndian.PutUint16(wire[len(wire)-2:], cxl.CRC16(wire[:len(wire)-2]))
+}
+
+func sampleFrame() Frame {
+	return Frame{
+		Src:     3,
+		Dst:     HostAddr,
+		Kind:    KindGrad,
+		Flow:    0x01020304,
+		Seq:     42,
+		Payload: []byte("per-sample gradient tape bytes"),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range []Frame{
+		sampleFrame(),
+		{Src: HostAddr, Dst: 0, Kind: KindParam, Flow: 7, Seq: 0, Payload: nil},
+		{Src: 1, Dst: 2, Kind: KindCtl, Flow: 0, Seq: 1 << 30, Payload: make([]byte, 1024)},
+	} {
+		wire, err := f.AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wire) != f.WireLen() {
+			t.Fatalf("wire %d bytes, WireLen says %d", len(wire), f.WireLen())
+		}
+		got, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Src != f.Src || got.Dst != f.Dst || got.Kind != f.Kind ||
+			got.Flow != f.Flow || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip mismatch: %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	f := sampleFrame()
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeFrame(wire[:frameHeaderLen+1]); !errors.Is(err, ErrFrameLength) && !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("truncated frame: got %v", err)
+	}
+	if _, err := DecodeFrame(nil); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("empty frame: got %v", err)
+	}
+
+	// Structural checks sit behind the CRC layer: mutate a field, fix the
+	// CRC back up, and the specific error must still surface.
+	bad := append([]byte(nil), wire...)
+	bad[0] ^= 0xFF // version byte
+	fixupCRC(bad)
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+
+	bad = append(bad[:0], wire...)
+	bad[1] = 0x7F // kind byte
+	fixupCRC(bad)
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameKind) {
+		t.Fatalf("bad kind: got %v", err)
+	}
+
+	bad = append(bad[:0], wire...)
+	binary.LittleEndian.PutUint32(bad[12:16], 1<<25) // hostile length field
+	fixupCRC(bad)
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameLength) {
+		t.Fatalf("hostile length: got %v", err)
+	}
+
+	bad = append(bad[:0], wire...)
+	bad[0] ^= 0x01 // plain corruption without a fixup fails the CRC itself
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupt image: got %v", err)
+	}
+
+	if _, err := (&Frame{Kind: 0}).AppendEncode(nil); !errors.Is(err, ErrFrameKind) {
+		t.Fatalf("encode of kind 0: got %v", err)
+	}
+}
+
+// Every single-bit flip anywhere in the frame must fail the CRC — the
+// detection property the fabric's retransmit path rests on.
+func TestFrameCRCDetectsEverySingleBitFlip(t *testing.T) {
+	f := sampleFrame()
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make([]byte, len(wire))
+	for bit := 0; bit < len(wire)*8; bit++ {
+		copy(mut, wire)
+		mut[bit/8] ^= 1 << uint(bit%8)
+		if _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("flip of bit %d went undetected", bit)
+		}
+	}
+}
+
+// DecodeFrameInto must fail closed: a rejected image leaves no stale
+// payload bytes behind.
+func TestFrameDecodeFailClosed(t *testing.T) {
+	f := sampleFrame()
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Frame
+	if err := DecodeFrameInto(&got, wire); err != nil {
+		t.Fatal(err)
+	}
+	wire[len(wire)-1] ^= 0x01
+	if err := DecodeFrameInto(&got, wire); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	if got.Src != 0 || got.Dst != 0 || got.Kind != 0 || got.Flow != 0 ||
+		got.Seq != 0 || len(got.Payload) != 0 {
+		t.Fatalf("rejected decode left state behind: %+v", got)
+	}
+}
+
+func TestPortDownError(t *testing.T) {
+	err := error(&PortDownError{Port: 2, At: 12345})
+	if !strings.Contains(err.Error(), "port 2") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	var pde *PortDownError
+	if !errors.As(err, &pde) || pde.Port != 2 {
+		t.Fatal("errors.As failed to recover the port")
+	}
+}

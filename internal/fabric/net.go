@@ -1,0 +1,260 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+
+	"teco/internal/cxl"
+)
+
+// NetConfig configures the functional fabric plane: the thing real frame
+// bytes cross between the host and the replica accelerators during
+// data-parallel training.
+type NetConfig struct {
+	// Ports is the number of accelerator-facing ports (one per replica).
+	Ports int
+	// SparePorts adds idle ports failover can reroute onto.
+	SparePorts int
+	// Faults is the per-port fault template (PortFaultConfig derives each
+	// port's seed; port 0 keeps the template seed). Only the bit-error
+	// half applies on the functional plane — stalls and degrade are
+	// timing concepts priced by the Switch.
+	Faults cxl.FaultConfig
+	// RetryBudget bounds CRC-failure retransmits per frame before the
+	// frame is delivered poisoned and recovered by a clean refetch.
+	// 0 selects cxl.DefaultRetryBudget.
+	RetryBudget int
+	// FailoverRetries bounds route probes after a dead port. The
+	// functional plane has no clock, so the Switch prices the seeded
+	// backoff; here the probes only count. 0 selects the default.
+	FailoverRetries int
+}
+
+// NetStats is the per-net frame accounting.
+type NetStats struct {
+	// Frames counts deliveries; Retries counts CRC-failure retransmits;
+	// Poisoned counts frames whose retry budget ran out; Refetches counts
+	// the clean recovery fetches that followed (Poisoned == Refetches:
+	// a poisoned frame is never consumed, always refetched).
+	Frames    int64
+	Retries   int64
+	Poisoned  int64
+	Refetches int64
+	// PortsDown / Failovers / FailoverRetries count failure-path events.
+	PortsDown       int64
+	Failovers       int64
+	FailoverRetries int64
+}
+
+type netPort struct {
+	fm    *cxl.FaultModel
+	up    bool
+	bound int
+}
+
+// Net is the functional fabric plane: per-port seeded fault models corrupt
+// real frame images, CRC failures retransmit, exhausted budgets poison and
+// refetch, dead ports fail over to spares. It is single-goroutine by
+// design — the replica group serializes its fabric traffic in replica-id
+// order, which is what keeps every fault draw reproducible.
+type Net struct {
+	cfg     NetConfig
+	ports   []*netPort
+	route   []int
+	stats   NetStats
+	wire    []byte
+	corrupt []byte
+}
+
+// NewNet builds the functional plane with Ports+SparePorts ports.
+func NewNet(cfg NetConfig) (*Net, error) {
+	if cfg.Ports < 1 {
+		return nil, fmt.Errorf("fabric: net needs >= 1 port, got %d", cfg.Ports)
+	}
+	if cfg.SparePorts < 0 {
+		return nil, fmt.Errorf("fabric: negative spare ports %d", cfg.SparePorts)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = cxl.DefaultRetryBudget
+	}
+	if cfg.FailoverRetries <= 0 {
+		cfg.FailoverRetries = DefaultFailoverRetries
+	}
+	n := &Net{cfg: cfg, route: make([]int, cfg.Ports)}
+	for i := 0; i < cfg.Ports+cfg.SparePorts; i++ {
+		p := &netPort{up: true, bound: -1}
+		if pc := PortFaultConfig(cfg.Faults, i); pc.Enabled() {
+			fm, err := cxl.NewFaultModel(pc)
+			if err != nil {
+				return nil, err
+			}
+			p.fm = fm
+		}
+		if i < cfg.Ports {
+			p.bound = i
+			n.route[i] = i
+		}
+		n.ports = append(n.ports, p)
+	}
+	return n, nil
+}
+
+// Stats returns the net accounting so far.
+func (n *Net) Stats() NetStats { return n.stats }
+
+// PortUp reports whether logical port lp currently has a live route.
+func (n *Net) PortUp(lp int) bool { return n.ports[n.route[lp]].up }
+
+// KillPort takes down the port routing lp's traffic.
+func (n *Net) KillPort(lp int) error {
+	if lp < 0 || lp >= n.cfg.Ports {
+		return fmt.Errorf("fabric: kill of unknown port %d", lp)
+	}
+	p := n.ports[n.route[lp]]
+	if !p.up {
+		return nil
+	}
+	p.up = false
+	n.stats.PortsDown++
+	telemetry.portsDown.Add(1)
+	return nil
+}
+
+// RevivePort restores logical port lp onto its original physical port
+// (the repaired accelerator rejoining the fabric). Any spare it had failed
+// over to is released.
+func (n *Net) RevivePort(lp int) error {
+	if lp < 0 || lp >= n.cfg.Ports {
+		return fmt.Errorf("fabric: revive of unknown port %d", lp)
+	}
+	if cur := n.route[lp]; cur != lp {
+		n.ports[cur].bound = -1
+	}
+	n.route[lp] = lp
+	n.ports[lp].bound = lp
+	n.ports[lp].up = true
+	return nil
+}
+
+func (n *Net) failover(lp int) bool {
+	for attempt := 0; ; attempt++ {
+		for i := n.cfg.Ports; i < len(n.ports); i++ {
+			if p := n.ports[i]; p.up && p.bound < 0 {
+				p.bound = lp
+				n.route[lp] = i
+				n.stats.Failovers++
+				telemetry.failovers.Add(1)
+				return true
+			}
+		}
+		if attempt >= n.cfg.FailoverRetries {
+			return false
+		}
+		n.stats.FailoverRetries++
+		telemetry.failoverRetries.Add(1)
+	}
+}
+
+// DeliverResult reports one frame delivery.
+type DeliverResult struct {
+	Frame    Frame
+	Retries  int
+	Poisoned bool
+}
+
+// Deliver carries one frame across the fabric. The frame traverses the
+// fault domain of every accelerator-facing port on its path — the source
+// port when f.Src is a replica, the destination port when f.Dst is (the
+// host uplink sits in the controlled host domain and is modelled
+// fault-free). A corrupted image fails the CRC and retransmits; an
+// exhausted budget delivers the frame poisoned, immediately recovered by
+// a clean refetch — so the decoded payload is always exact and faults
+// surface only in the counters, the house guarantee.
+func (n *Net) Deliver(f *Frame) (DeliverResult, error) {
+	var res DeliverResult
+	ports, err := n.path(f)
+	if err != nil {
+		return res, err
+	}
+	wire, err := f.AppendEncode(n.wire[:0])
+	if err != nil {
+		return res, err
+	}
+	n.wire = wire
+	n.stats.Frames++
+	telemetry.frames.Add(1)
+	for attempt := 0; ; attempt++ {
+		img := wire
+		flips := 0
+		for _, p := range ports {
+			if p.fm == nil {
+				continue
+			}
+			var k int
+			img, k = p.fm.CorruptFrameReuse(img, n.corrupt[:0])
+			// Capture grown scratch capacity — but only after a corrupting
+			// draw: with zero flips the call returns its input, and
+			// capturing that here could alias the scratch onto the pristine
+			// wire image, letting a later attempt corrupt it in place.
+			if k > 0 && cap(img) > cap(n.corrupt) {
+				n.corrupt = img[:0]
+			}
+			flips += k
+		}
+		if flips == 0 {
+			break
+		}
+		if err := DecodeFrameInto(&res.Frame, img); err == nil && bytes.Equal(img, wire) {
+			// An even number of flips landed on the same bits and
+			// cancelled out; the image is intact, deliver it.
+			break
+		}
+		// Rejected: by the CRC for almost every flip pattern, or — for a
+		// multi-flip pattern that collides the CRC — by the receiver's
+		// end-to-end payload digest. Either way the frame is NAKed and
+		// retransmitted, never consumed corrupted.
+		if attempt >= n.cfg.RetryBudget {
+			res.Poisoned = true
+			n.stats.Poisoned++
+			n.stats.Refetches++
+			telemetry.framesPoisoned.Add(1)
+			break
+		}
+		res.Retries++
+		n.stats.Retries++
+		telemetry.frameRetries.Add(1)
+	}
+	// Clean delivery: either the image survived intact, or the poisoned
+	// frame is refetched once more outside the fault window.
+	if err := DecodeFrameInto(&res.Frame, wire); err != nil {
+		return res, fmt.Errorf("fabric: clean frame failed to decode: %w", err)
+	}
+	return res, nil
+}
+
+// path resolves the accelerator ports the frame traverses, running
+// failover for any dead one.
+func (n *Net) path(f *Frame) ([]*netPort, error) {
+	var ports []*netPort
+	for _, addr := range [2]uint8{f.Src, f.Dst} {
+		if addr == HostAddr {
+			continue
+		}
+		lp := int(addr)
+		if lp >= n.cfg.Ports {
+			return nil, fmt.Errorf("fabric: frame addresses unknown port %d", lp)
+		}
+		p := n.ports[n.route[lp]]
+		if !p.up {
+			if !n.failover(lp) {
+				return nil, &PortDownError{Port: lp}
+			}
+			p = n.ports[n.route[lp]]
+		}
+		ports = append(ports, p)
+	}
+	return ports, nil
+}

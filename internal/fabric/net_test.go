@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"teco/internal/cxl"
+)
+
+func deliverAll(t *testing.T, n *Net, frames []Frame) []DeliverResult {
+	t.Helper()
+	var out []DeliverResult
+	for i := range frames {
+		res, err := n.Deliver(&frames[i])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func gradFrames(nports, count int) []Frame {
+	var fs []Frame
+	for i := 0; i < count; i++ {
+		payload := bytes.Repeat([]byte{byte(i), 0x5A}, 512)
+		fs = append(fs, Frame{
+			Src: uint8(i % nports), Dst: HostAddr,
+			Kind: KindGrad, Flow: 1, Seq: uint32(i), Payload: payload,
+		})
+	}
+	return fs
+}
+
+// The house guarantee: whatever the per-port BER does to the wire, every
+// delivered payload is exact — faults surface only in the counters.
+func TestNetDeliveryExactUnderBitErrors(t *testing.T) {
+	n, err := NewNet(NetConfig{
+		Ports: 3,
+		// A BER high enough that a 1 KiB frame is corrupted nearly every
+		// attempt, so retries and poisons both happen.
+		Faults: cxl.FaultConfig{Seed: 11, BER: 1e-4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := gradFrames(3, 60)
+	results := deliverAll(t, n, frames)
+	for i, res := range results {
+		if !bytes.Equal(res.Frame.Payload, frames[i].Payload) {
+			t.Fatalf("frame %d: payload corrupted in delivery", i)
+		}
+		if res.Frame.Seq != frames[i].Seq || res.Frame.Src != frames[i].Src {
+			t.Fatalf("frame %d: header corrupted in delivery", i)
+		}
+	}
+	st := n.Stats()
+	if st.Frames != 60 {
+		t.Fatalf("frames %d, want 60", st.Frames)
+	}
+	if st.Retries == 0 {
+		t.Fatal("BER 1e-4 on KiB frames produced no retransmits")
+	}
+	if st.Poisoned != st.Refetches {
+		t.Fatalf("poisoned %d != refetches %d", st.Poisoned, st.Refetches)
+	}
+}
+
+// Zero faults: no retries, no poisons, payloads exact.
+func TestNetCleanDelivery(t *testing.T) {
+	n, err := NewNet(NetConfig{Ports: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := gradFrames(2, 8)
+	for _, res := range deliverAll(t, n, frames) {
+		if res.Retries != 0 || res.Poisoned {
+			t.Fatalf("clean fabric reported faults: %+v", res)
+		}
+	}
+	if st := n.Stats(); st.Retries != 0 || st.Poisoned != 0 {
+		t.Fatalf("clean fabric counted faults: %+v", st)
+	}
+}
+
+// Fault draws are seeded per port: the same traffic replayed through a
+// fresh Net with the same config produces identical counters.
+func TestNetFaultsReproducible(t *testing.T) {
+	run := func() NetStats {
+		n, err := NewNet(NetConfig{Ports: 2, Faults: cxl.FaultConfig{Seed: 5, BER: 5e-5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deliverAll(t, n, gradFrames(2, 40))
+		return n.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// Host-to-replica traffic traverses only the replica's port fault domain;
+// replica-to-replica traffic traverses both.
+func TestNetPathFaultDomains(t *testing.T) {
+	// Port 0 faulty, port 1 clean (per-port derived seeds make this hard to
+	// arrange via the template, so deliver different routes and compare).
+	n, err := NewNet(NetConfig{Ports: 2, Faults: cxl.FaultConfig{Seed: 3, BER: 3e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xC3}, 2048)
+	before := n.Stats()
+	for i := 0; i < 30; i++ {
+		f := Frame{Src: 0, Dst: 1, Kind: KindParam, Flow: 2, Seq: uint32(i), Payload: payload}
+		if _, err := n.Deliver(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := n.Stats().Retries - before.Retries
+	if delta == 0 {
+		t.Fatal("replica-to-replica path saw no corruption at BER 3e-4")
+	}
+	if _, err := n.Deliver(&Frame{Src: HostAddr, Dst: HostAddr, Kind: KindCtl, Flow: 0, Seq: 0}); err != nil {
+		t.Fatal("host-to-host control frame crosses no fault domain")
+	}
+}
+
+func TestNetFailoverAndRevive(t *testing.T) {
+	n, err := NewNet(NetConfig{Ports: 2, SparePorts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.KillPort(0); err != nil {
+		t.Fatal(err)
+	}
+	f := Frame{Src: 0, Dst: HostAddr, Kind: KindGrad, Flow: 1, Seq: 1, Payload: []byte("x")}
+	if _, err := n.Deliver(&f); err != nil {
+		t.Fatalf("delivery with a spare: %v", err)
+	}
+	st := n.Stats()
+	if st.PortsDown != 1 || st.Failovers != 1 {
+		t.Fatalf("failover not counted: %+v", st)
+	}
+	// Revive: port 0 routes over its own (repaired) port again, the spare
+	// is released for the next failure.
+	if err := n.RevivePort(0); err != nil {
+		t.Fatal(err)
+	}
+	if !n.PortUp(0) {
+		t.Fatal("revived port not up")
+	}
+	if err := n.KillPort(1); err != nil {
+		t.Fatal(err)
+	}
+	g := Frame{Src: 1, Dst: HostAddr, Kind: KindGrad, Flow: 1, Seq: 2, Payload: []byte("y")}
+	if _, err := n.Deliver(&g); err != nil {
+		t.Fatalf("released spare not reusable: %v", err)
+	}
+
+	// No spares left: killing the spare strands port 1.
+	if err := n.KillPort(1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = n.Deliver(&g)
+	var pde *PortDownError
+	if !errors.As(err, &pde) || pde.Port != 1 {
+		t.Fatalf("want PortDownError for port 1, got %v", err)
+	}
+}
+
+func TestNetValidation(t *testing.T) {
+	if _, err := NewNet(NetConfig{Ports: 0}); err == nil {
+		t.Fatal("zero ports accepted")
+	}
+	if _, err := NewNet(NetConfig{Ports: 1, SparePorts: -1}); err == nil {
+		t.Fatal("negative spares accepted")
+	}
+	n, err := NewNet(NetConfig{Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Frame{Src: 9, Dst: HostAddr, Kind: KindGrad, Flow: 0, Seq: 0}
+	if _, err := n.Deliver(&f); err == nil {
+		t.Fatal("frame to unknown port accepted")
+	}
+	bad := Frame{Src: 0, Dst: HostAddr, Kind: 0}
+	if _, err := n.Deliver(&bad); err == nil {
+		t.Fatal("unencodable frame accepted")
+	}
+	if err := n.KillPort(7); err == nil {
+		t.Fatal("kill of unknown port accepted")
+	}
+	if err := n.RevivePort(7); err == nil {
+		t.Fatal("revive of unknown port accepted")
+	}
+}

@@ -143,6 +143,39 @@ func (f FaultStats) Any() bool {
 		f.Exposed != 0 || f.Degraded
 }
 
+// FabricStats summarizes switched-fabric activity during one step of the
+// data-parallel mode (zero when the step ran on the point-to-point link).
+type FabricStats struct {
+	// Replicas is the data-parallel width the step was configured with;
+	// HostPorts is the spine's uplink count (Replicas/HostPorts is the
+	// oversubscription ratio).
+	Replicas  int64
+	HostPorts int64
+	// PortsDown counts ports killed during the step; Failovers and
+	// FailoverRetries count reroutes onto spare ports and the backoff
+	// probes spent finding them.
+	PortsDown       int64
+	Failovers       int64
+	FailoverRetries int64
+	// SpineBytes is the payload volume that crossed the switch spine;
+	// SpineQueued is the cumulative time flows waited for it (the
+	// oversubscription cost).
+	SpineBytes  int64
+	SpineQueued sim.Time
+	// LostReplicas counts replicas dropped after failover was exhausted;
+	// Redistributed counts their batch shards reassigned to survivors;
+	// Degraded reports the step completed with a shrunken group.
+	LostReplicas  int64
+	Redistributed int64
+	Degraded      bool
+}
+
+// Any reports whether any fabric activity was recorded.
+func (f FabricStats) Any() bool {
+	return f.Replicas != 0 || f.SpineBytes != 0 || f.PortsDown != 0 ||
+		f.Failovers != 0 || f.LostReplicas != 0
+}
+
 // RecoveryStats summarizes checkpoint/restore activity above the link
 // layer: how often the run checkpointed, how many silent-data-corruption
 // events were detected, and what rolling back and replaying cost. The
@@ -204,6 +237,9 @@ type StepResult struct {
 	// checkpointing is configured); aggregated over a run and amortized
 	// per step by core.Session.
 	Recovery RecoveryStats
+	// Fabric is the switched-fabric accounting (zero on the
+	// point-to-point engines).
+	Fabric FabricStats
 }
 
 // TotalLinkBytes returns combined link volume.
@@ -244,6 +280,23 @@ func (r StepResult) Check() error {
 	}
 	if rec.CkptWrites == 0 && rec.CkptBytes != 0 {
 		return fmt.Errorf("phases: %d checkpoint bytes with zero writes", rec.CkptBytes)
+	}
+	fb := r.Fabric
+	if fb.Replicas < 0 || fb.HostPorts < 0 || fb.PortsDown < 0 || fb.Failovers < 0 ||
+		fb.FailoverRetries < 0 || fb.SpineBytes < 0 || fb.LostReplicas < 0 || fb.Redistributed < 0 {
+		return fmt.Errorf("phases: negative fabric counter %+v", fb)
+	}
+	if fb.SpineQueued < 0 {
+		return fmt.Errorf("phases: negative spine queue time %v", fb.SpineQueued)
+	}
+	if fb.LostReplicas > fb.PortsDown {
+		return fmt.Errorf("phases: %d replicas lost with %d ports down", fb.LostReplicas, fb.PortsDown)
+	}
+	if fb.Replicas > 0 && fb.LostReplicas >= fb.Replicas {
+		return fmt.Errorf("phases: all %d replicas lost in a completed step", fb.Replicas)
+	}
+	if fb.Degraded && fb.LostReplicas == 0 {
+		return fmt.Errorf("phases: degraded fabric step without a lost replica")
 	}
 	return nil
 }

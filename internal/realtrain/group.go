@@ -1,0 +1,556 @@
+package realtrain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"teco/internal/checkpoint"
+	"teco/internal/conformance/check"
+	"teco/internal/cxl"
+	"teco/internal/fabric"
+	"teco/internal/parallel"
+	"teco/internal/tensor"
+)
+
+// Data-parallel TECO training over the switched fabric.
+//
+// A Group wraps one Trainer (the host: master copy, ADAM, DBA merge,
+// checkpointing — all of PR 2's machinery unchanged) and R replica
+// accelerators, each holding its own copy of the compute parameters behind
+// its own fabric port. Every step:
+//
+//  1. Broadcast: the host shards the parameter payload (the low dirty
+//     bytes per word when DBA is active, full words otherwise) across the
+//     live replicas and all-gathers the shards replica-to-replica, so each
+//     replica's local copy bit-equals the trainer's compute copy.
+//  2. Shard: the global batch splits contiguously across live replicas;
+//     each computes per-sample gradient tapes (samplegrad.go) against its
+//     local copy.
+//  3. Merge: tapes cross the fabric as CRC-framed messages in replica-id
+//     order and the host replays them in global batch order — bit-identical
+//     to the single trainer's LossAndGrad at ANY replica count, which is
+//     the house equality every fabric proof rests on.
+//
+// Robustness: a dead port is detected on first use; delivery fails over to
+// a spare port when one exists, otherwise the replica is declared lost,
+// its shard is redistributed to survivors (who recompute the identical
+// tapes), and the run continues degraded. A revived replica rebuilds its
+// local copy from the host's checkpointed state.
+type GroupConfig struct {
+	// Train is the underlying trainer configuration. Arch must be the
+	// default MLP: the data-parallel tape pipeline mirrors its backward
+	// pass expression-for-expression.
+	Train Config
+	// Replicas is the data-parallel width (>= 1). The trainer's Batch
+	// must be >= Replicas so every replica owns at least one sample.
+	Replicas int
+	// SparePorts adds idle fabric ports that failover can reroute onto.
+	SparePorts int
+	// Faults is the per-port functional fault template (bit errors on
+	// real frame bytes; see fabric.NetConfig).
+	Faults cxl.FaultConfig
+	// FrameRetryBudget bounds per-frame CRC retransmits (0: cxl default).
+	FrameRetryBudget int
+	// KillPort, when 1..Replicas, kills that port (1-based) at the start
+	// of fine-tuning step KillAtStep, after the parameter broadcast and
+	// before the replica's shard can land — the mid-step loss case.
+	KillPort   int
+	KillAtStep int
+}
+
+// GroupStats counts fabric and degraded-mode events over the run.
+type GroupStats struct {
+	Steps           int64
+	BroadcastFrames int64
+	GradFrames      int64
+	FrameRetries    int64
+	FramesPoisoned  int64
+	Failovers       int64
+	DegradedSteps   int64
+	LostReplicas    int64
+	Redistributed   int64
+	Rebuilds        int64
+}
+
+type replica struct {
+	id    int
+	model *MLP
+	local []float32
+	fp16  []float32
+	alive bool
+	// staged holds the tapes computed for this replica's shard this step.
+	staged []*sampleTape
+}
+
+// Group is the data-parallel fabric trainer.
+type Group struct {
+	cfg      GroupConfig
+	tr       *Trainer
+	m        *MLP
+	net      *fabric.Net
+	replicas []*replica
+	// tapes are the host-side decoded tapes, indexed by batch position.
+	tapes []*sampleTape
+	enc   []byte
+	stats GroupStats
+	armed bool
+}
+
+// NewGroup builds a replica group (running the trainer's pre-training
+// phase, exactly as NewTrainer does).
+func NewGroup(cfg GroupConfig) (*Group, error) {
+	tr, err := NewTrainer(cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	return newGroup(cfg, tr)
+}
+
+// NewGroupFromSnapshot rebuilds a group from a PR 2 checkpoint snapshot:
+// the trainer restores bit-exactly and every replica's local copy is
+// rebuilt from the restored compute state.
+func NewGroupFromSnapshot(cfg GroupConfig, snap *checkpoint.Snapshot) (*Group, error) {
+	tr, err := NewTrainerFromSnapshot(cfg.Train, snap)
+	if err != nil {
+		return nil, err
+	}
+	return newGroup(cfg, tr)
+}
+
+func newGroup(cfg GroupConfig, tr *Trainer) (*Group, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("realtrain: group needs >= 1 replica, got %d", cfg.Replicas)
+	}
+	if cfg.Replicas > int(fabric.HostAddr) {
+		return nil, fmt.Errorf("realtrain: %d replicas exceed the fabric address space", cfg.Replicas)
+	}
+	if tr.cfg.Batch < cfg.Replicas {
+		return nil, fmt.Errorf("realtrain: batch %d smaller than %d replicas", tr.cfg.Batch, cfg.Replicas)
+	}
+	if cfg.KillPort < 0 || cfg.KillPort > cfg.Replicas {
+		return nil, fmt.Errorf("realtrain: kill port %d outside 1..%d", cfg.KillPort, cfg.Replicas)
+	}
+	m, ok := tr.model.(*MLP)
+	if !ok {
+		return nil, fmt.Errorf("realtrain: fabric data-parallel mode supports arch \"mlp\" only, got %q", tr.cfg.Arch)
+	}
+	net, err := fabric.NewNet(fabric.NetConfig{
+		Ports:       cfg.Replicas,
+		SparePorts:  cfg.SparePorts,
+		Faults:      cfg.Faults,
+		RetryBudget: cfg.FrameRetryBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{cfg: cfg, tr: tr, m: m, net: net, armed: cfg.KillPort > 0}
+	for r := 0; r < cfg.Replicas; r++ {
+		rep := &replica{
+			id:    r,
+			model: &MLP{Vocab: m.Vocab, Dim: m.Dim, Hidden: m.Hidden, Classes: m.Classes},
+			local: make([]float32, len(tr.compute)),
+			alive: true,
+		}
+		copy(rep.local, tr.compute)
+		if tr.cfg.FP16Compute {
+			rep.fp16 = make([]float32, len(tr.compute))
+		}
+		g.replicas = append(g.replicas, rep)
+	}
+	g.tapes = make([]*sampleTape, tr.cfg.Batch)
+	for i := range g.tapes {
+		g.tapes[i] = newSampleTape(m)
+	}
+	tr.gradFn = g.gradFn
+	return g, nil
+}
+
+// Trainer exposes the wrapped host trainer (checkpointing, results).
+func (g *Group) Trainer() *Trainer { return g.tr }
+
+// Stats returns the group's fabric/degraded-mode accounting so far.
+func (g *Group) Stats() GroupStats { return g.stats }
+
+// NetStats returns the functional fabric plane's frame accounting.
+func (g *Group) NetStats() fabric.NetStats { return g.net.Stats() }
+
+// LiveReplicas returns the ids of replicas still in the group.
+func (g *Group) LiveReplicas() []int {
+	var ids []int
+	for _, rep := range g.replicas {
+		if rep.alive {
+			ids = append(ids, rep.id)
+		}
+	}
+	return ids
+}
+
+// Step runs one fine-tuning step through the fabric pipeline.
+func (g *Group) Step() error { return g.tr.Step() }
+
+// Done reports whether the configured steps have completed.
+func (g *Group) Done() bool { return g.tr.Done() }
+
+// Run drives the group to completion and returns the trainer's result.
+func (g *Group) Run() (Result, error) {
+	for !g.tr.Done() {
+		if err := g.tr.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return g.tr.Result(), nil
+}
+
+// KillReplica takes down replica r's fabric port (0-based; the chaos
+// harness and tests drive this directly, GroupConfig.KillPort schedules
+// it).
+func (g *Group) KillReplica(r int) error { return g.net.KillPort(r) }
+
+// ReviveReplica brings a lost replica back: its port rejoins the fabric
+// and its local parameter copy is rebuilt from the host's checkpointed
+// compute state (bit-equal to rebuilding from any surviving replica — the
+// broadcast invariant keeps all copies identical).
+func (g *Group) ReviveReplica(r int) error {
+	if r < 0 || r >= len(g.replicas) {
+		return fmt.Errorf("realtrain: revive of unknown replica %d", r)
+	}
+	if err := g.net.RevivePort(r); err != nil {
+		return err
+	}
+	rep := g.replicas[r]
+	if !rep.alive {
+		rep.alive = true
+		copy(rep.local, g.tr.compute)
+		g.stats.Rebuilds++
+		fabric.RecordRebuild()
+	}
+	return nil
+}
+
+// lose marks replica r lost after failover was exhausted.
+func (g *Group) lose(r int) {
+	rep := g.replicas[r]
+	if !rep.alive {
+		return
+	}
+	rep.alive = false
+	g.stats.LostReplicas++
+	fabric.RecordLostReplica()
+}
+
+func (g *Group) liveList() []*replica {
+	var live []*replica
+	for _, rep := range g.replicas {
+		if rep.alive {
+			live = append(live, rep)
+		}
+	}
+	return live
+}
+
+// gradFn is the trainer hook: the full fabric pipeline for one step.
+func (g *Group) gradFn(fwdParams []float32, batch []int, grads []float32) (float64, error) {
+	step := g.tr.step
+	g.stats.Steps++
+
+	// (1) Parameter broadcast: sync every live replica's local copy with
+	// the host state. A port death discovered here loses that replica and
+	// the broadcast restarts over the survivors (shard application is
+	// idempotent, so replicas that already applied shards stay correct).
+	for {
+		err := g.broadcast(step)
+		if err == nil {
+			break
+		}
+		var pde *fabric.PortDownError
+		if errors.As(err, &pde) {
+			g.lose(pde.Port)
+			if len(g.liveList()) == 0 {
+				return 0, fmt.Errorf("realtrain: all replicas lost at step %d", step)
+			}
+			continue
+		}
+		return 0, err
+	}
+
+	// Scheduled chaos: the port dies after the broadcast, before this
+	// step's gradient tapes can land — the mid-step loss case.
+	if g.armed && step >= g.cfg.KillAtStep {
+		g.armed = false
+		if err := g.net.KillPort(g.cfg.KillPort - 1); err != nil {
+			return 0, err
+		}
+	}
+
+	// (2) Shard the batch contiguously over live replicas and compute the
+	// per-sample tapes in parallel (each replica owns its model scratch
+	// and tape buffers; tapes are pure functions of shipped bits, so the
+	// result is identical at any worker count).
+	live := g.liveList()
+	shards := shardBatch(len(batch), len(live))
+	inv := float32(1.0 / float64(len(batch)))
+	fns := make([]func(), len(live))
+	for i, rep := range live {
+		i, rep := i, rep
+		fns[i] = func() { g.stageShard(rep, batch, shards[i], inv) }
+	}
+	parallel.Do(g.tr.cfg.Workers, fns...)
+
+	if check.Enabled() {
+		check.Check(func() error { return g.checkSync() })
+	}
+
+	// (3) Deliver every staged tape host-ward in replica-id order. A dead
+	// port loses its replica; the undelivered shard is redistributed.
+	var pending []int // batch positions needing recomputation
+	degraded := false
+	for _, rep := range live {
+		for ti, tp := range rep.staged {
+			if err := g.deliverTape(rep, step, tp); err != nil {
+				var pde *fabric.PortDownError
+				if !errors.As(err, &pde) {
+					return 0, err
+				}
+				g.lose(rep.id)
+				degraded = true
+				for _, later := range rep.staged[ti:] {
+					pending = append(pending, later.pos)
+				}
+				break
+			}
+		}
+	}
+	if degraded {
+		g.stats.DegradedSteps++
+		fabric.RecordDegradedStep()
+	}
+	if len(pending) > 0 {
+		survivors := g.liveList()
+		if len(survivors) == 0 {
+			return 0, fmt.Errorf("realtrain: all replicas lost at step %d", step)
+		}
+		g.stats.Redistributed += int64(len(pending))
+		fabric.RecordRedistributed(len(pending))
+		// Survivors recompute the lost shard (same shipped bits -> same
+		// tapes) and deliver through their own ports, round-robin.
+		for i, pos := range pending {
+			rep := survivors[i%len(survivors)]
+			tp := rep.stage(g.m)
+			rep.model.tapeSample(g.replicaFwd(rep), g.tr.ds, batch[pos], pos, inv, tp)
+			if err := g.deliverTape(rep, step, tp); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// (4) Replay on the host in global batch order: bit-identical to the
+	// single trainer's LossAndGrad.
+	for i := range grads {
+		grads[i] = 0
+	}
+	var loss float64
+	for pos := range batch {
+		tp := g.tapes[pos]
+		if tp.pos != pos {
+			return 0, fmt.Errorf("realtrain: tape for position %d carries position %d", pos, tp.pos)
+		}
+		g.m.replayTape(grads, g.tr.ds, tp)
+		loss += tp.loss
+	}
+	return loss / float64(len(batch)), nil
+}
+
+// stage grows the replica's staged-tape pool by one (redistribution can
+// enlarge a shard mid-run) and returns the fresh buffer.
+func (rep *replica) stage(m *MLP) *sampleTape {
+	tp := newSampleTape(m)
+	rep.staged = append(rep.staged, tp)
+	return tp
+}
+
+// stageShard computes the tapes for one replica's shard.
+func (g *Group) stageShard(rep *replica, batch []int, sh shard, inv float32) {
+	for len(rep.staged) < sh.n {
+		rep.staged = append(rep.staged, newSampleTape(g.m))
+	}
+	rep.staged = rep.staged[:sh.n]
+	fwd := g.replicaFwd(rep)
+	for i := 0; i < sh.n; i++ {
+		pos := sh.lo + i
+		rep.model.tapeSample(fwd, g.tr.ds, batch[pos], pos, inv, rep.staged[i])
+	}
+}
+
+// replicaFwd returns the parameter view the replica's forward pass uses:
+// its local copy, rounded through FP16 when mixed precision is on (the
+// same element-wise rounding the single trainer applies).
+func (g *Group) replicaFwd(rep *replica) []float32 {
+	if !g.tr.cfg.FP16Compute {
+		return rep.local
+	}
+	for i, v := range rep.local {
+		rep.fp16[i] = tensor.RoundTripFP16(v)
+	}
+	return rep.fp16
+}
+
+// deliverTape frames one tape, carries it across the fabric and decodes it
+// into the host-side slot for its batch position.
+func (g *Group) deliverTape(rep *replica, step int, tp *sampleTape) error {
+	g.enc = tp.appendEncode(g.enc[:0])
+	f := fabric.Frame{
+		Src:     uint8(rep.id),
+		Dst:     fabric.HostAddr,
+		Kind:    fabric.KindGrad,
+		Flow:    uint32(step),
+		Seq:     uint32(tp.pos),
+		Payload: g.enc,
+	}
+	res, err := g.net.Deliver(&f)
+	if err != nil {
+		return err
+	}
+	g.noteDelivery(res)
+	g.stats.GradFrames++
+	host := g.tapes[tp.pos]
+	if err := host.decode(res.Frame.Payload, g.m); err != nil {
+		return err
+	}
+	if host.pos != tp.pos {
+		return fmt.Errorf("realtrain: tape position %d decoded as %d", tp.pos, host.pos)
+	}
+	return nil
+}
+
+func (g *Group) noteDelivery(res fabric.DeliverResult) {
+	g.stats.FrameRetries += int64(res.Retries)
+	if res.Poisoned {
+		g.stats.FramesPoisoned++
+	}
+}
+
+// shard is one replica's contiguous slice of the global batch.
+type shard struct{ lo, n int }
+
+// shardBatch splits b samples contiguously over r replicas, remainder to
+// the lowest-indexed ones.
+func shardBatch(b, r int) []shard {
+	base, rem := b/r, b%r
+	out := make([]shard, r)
+	lo := 0
+	for i := range out {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = shard{lo: lo, n: n}
+		lo += n
+	}
+	return out
+}
+
+// broadcast pushes the host parameter payload to every live replica:
+// the payload is sharded over the live replicas (host -> shard owner) and
+// all-gathered replica-to-replica, so every copy converges to the
+// trainer's compute state. The payload is the low dirty bytes per word
+// while a DBA merge is active, full words otherwise — exactly the bytes
+// the trainer's own merge moved.
+func (g *Group) broadcast(step int) error {
+	live := g.liveList()
+	if len(live) == 0 {
+		return &fabric.PortDownError{Port: 0}
+	}
+	dirty := 4
+	if g.tr.cfg.DBA && g.tr.ctrl.ActivatedAt() >= 0 {
+		dirty = g.tr.cfg.DirtyBytes
+	}
+	words := len(g.tr.master)
+	shards := shardBatch(words, len(live))
+	for si, owner := range live {
+		sh := shards[si]
+		payload := extractPayload(g.tr.master, sh.lo, sh.n, dirty)
+		// Host -> shard owner.
+		f := fabric.Frame{
+			Src: fabric.HostAddr, Dst: uint8(owner.id),
+			Kind: fabric.KindParam, Flow: uint32(step), Seq: uint32(si),
+			Payload: payload,
+		}
+		res, err := g.net.Deliver(&f)
+		if err != nil {
+			return err
+		}
+		g.noteDelivery(res)
+		g.stats.BroadcastFrames++
+		applyShard(owner.local, res.Frame.Payload, sh.lo, dirty)
+		// All-gather leg: owner forwards its shard to every other live
+		// replica.
+		for _, peer := range live {
+			if peer.id == owner.id {
+				continue
+			}
+			pf := fabric.Frame{
+				Src: uint8(owner.id), Dst: uint8(peer.id),
+				Kind: fabric.KindParam, Flow: uint32(step), Seq: uint32(si),
+				Payload: payload,
+			}
+			pres, err := g.net.Deliver(&pf)
+			if err != nil {
+				return err
+			}
+			g.noteDelivery(pres)
+			g.stats.BroadcastFrames++
+			applyShard(peer.local, pres.Frame.Payload, sh.lo, dirty)
+		}
+	}
+	return nil
+}
+
+// checkSync asserts the broadcast invariant: every live replica's local
+// copy bit-equals the trainer's compute copy.
+func (g *Group) checkSync() error {
+	for _, rep := range g.replicas {
+		if !rep.alive {
+			continue
+		}
+		for i, v := range rep.local {
+			if math.Float32bits(v) != math.Float32bits(g.tr.compute[i]) {
+				return fmt.Errorf("realtrain: replica %d word %d diverged from compute copy", rep.id, i)
+			}
+		}
+	}
+	return nil
+}
+
+// extractPayload serializes words [lo, lo+n)'s low `dirty` bytes (dirty=4:
+// whole words), little-endian — the master-side half of the DBA merge.
+func extractPayload(params []float32, lo, n, dirty int) []byte {
+	out := make([]byte, 0, n*dirty)
+	for i := lo; i < lo+n; i++ {
+		bits := math.Float32bits(params[i])
+		for b := 0; b < dirty; b++ {
+			out = append(out, byte(bits>>(8*b)))
+		}
+	}
+	return out
+}
+
+// applyShard merges a payload into local words [lo, lo+n): the low dirty
+// bytes come from the payload, the high bytes stay — the same bit
+// operation as dba.MergeWords, so the replica-side merge bit-equals the
+// trainer's.
+func applyShard(local []float32, payload []byte, lo, dirty int) {
+	n := len(payload) / dirty
+	mask := uint32(1)<<(uint(dirty)*8) - 1
+	if dirty == 4 {
+		mask = ^uint32(0)
+	}
+	for i := 0; i < n; i++ {
+		var mb uint32
+		for b := 0; b < dirty; b++ {
+			mb |= uint32(payload[i*dirty+b]) << (8 * b)
+		}
+		cb := math.Float32bits(local[lo+i])
+		local[lo+i] = math.Float32frombits((cb &^ mask) | (mb & mask))
+	}
+}

@@ -1,0 +1,293 @@
+package realtrain
+
+import (
+	"reflect"
+	"testing"
+
+	"teco/internal/conformance/check"
+	"teco/internal/cxl"
+)
+
+func groupCfg(seed int64) Config {
+	return Config{Steps: 30, PreSteps: 20, Seed: seed, SampleEvery: 5}
+}
+
+func groupDBACfg(seed int64) Config {
+	c := groupCfg(seed)
+	c.DBA = true
+	c.ActAfterSteps = 8
+	return c
+}
+
+func runGroup(t *testing.T, cfg GroupConfig) (*Group, Result) {
+	t.Helper()
+	g, err := NewGroup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+// The tentpole equality: N-replica fabric training is bit-identical to the
+// single-link trainer — same Result (loss trajectory, final metrics), same
+// master and compute parameters, at every replica count, with and without
+// DBA and mixed precision.
+func TestGroupMatchesTrainer(t *testing.T) {
+	check.Enable(t)
+	for name, mk := range map[string]func(int64) Config{
+		"plain": groupCfg,
+		"dba":   groupDBACfg,
+		"fp16": func(seed int64) Config {
+			c := groupDBACfg(seed)
+			c.FP16Compute = true
+			return c
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := mk(41)
+			want := Run(cfg)
+			wantTr, err := NewTrainer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !wantTr.Done() {
+				if err := wantTr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, replicas := range []int{1, 2, 3} {
+				g, res := runGroup(t, GroupConfig{Train: cfg, Replicas: replicas})
+				if !reflect.DeepEqual(res, want) {
+					t.Fatalf("replicas=%d: result diverged from single trainer", replicas)
+				}
+				if !bitsEqual(g.Trainer().MasterParams(), wantTr.MasterParams()) {
+					t.Fatalf("replicas=%d: master params diverged", replicas)
+				}
+				if !bitsEqual(g.Trainer().ComputeParams(), wantTr.ComputeParams()) {
+					t.Fatalf("replicas=%d: compute params diverged", replicas)
+				}
+				if st := g.Stats(); st.Steps != int64(cfg.Steps) || st.GradFrames == 0 {
+					t.Fatalf("replicas=%d: implausible stats %+v", replicas, st)
+				}
+			}
+		})
+	}
+}
+
+// Per-port bit errors corrupt frames on the wire; CRC retransmits (and
+// poisoned-frame refetches) repair every one, so the run stays bit-identical
+// while the counters show real fault traffic.
+func TestGroupExactUnderFrameFaults(t *testing.T) {
+	check.Enable(t)
+	cfg := groupDBACfg(43)
+	want := Run(cfg)
+	g, res := runGroup(t, GroupConfig{
+		Train:    cfg,
+		Replicas: 3,
+		Faults:   cxl.FaultConfig{Seed: 9, BER: 2e-6},
+	})
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("bit errors leaked into the training result")
+	}
+	st := g.Stats()
+	if st.FrameRetries == 0 {
+		t.Fatalf("BER 2e-6 produced no frame retransmits: %+v", st)
+	}
+	if ns := g.NetStats(); ns.Retries != st.FrameRetries {
+		t.Fatalf("group retries %d != net retries %d", st.FrameRetries, ns.Retries)
+	}
+}
+
+// The chaos proof from the issue: one port killed mid-run at BER=0 — the
+// degraded data-parallel run completes and equals the fault-free reference
+// (which, by the tape equality, is the same at N-1 replicas and at 1).
+func TestFabricChaosKillPort(t *testing.T) {
+	check.Enable(t)
+	cfg := groupDBACfg(47)
+	want := Run(cfg)
+	_, wantN1 := runGroup(t, GroupConfig{Train: cfg, Replicas: 2})
+
+	g, res := runGroup(t, GroupConfig{
+		Train:      cfg,
+		Replicas:   3,
+		KillPort:   3, // 1-based: replica id 2
+		KillAtStep: 11,
+	})
+	if !reflect.DeepEqual(res, wantN1) {
+		t.Fatal("degraded run diverged from the fault-free N-1-replica reference")
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("degraded run diverged from the single trainer")
+	}
+	st := g.Stats()
+	if st.LostReplicas != 1 {
+		t.Fatalf("lost %d replicas, want 1: %+v", st.LostReplicas, st)
+	}
+	if st.DegradedSteps == 0 {
+		t.Fatalf("kill mid-run produced no degraded step: %+v", st)
+	}
+	if st.Redistributed == 0 {
+		t.Fatalf("lost shard never redistributed: %+v", st)
+	}
+	if live := g.LiveReplicas(); len(live) != 2 {
+		t.Fatalf("live replicas %v, want 2 survivors", live)
+	}
+}
+
+// Same kill with a spare port available: delivery fails over, no replica is
+// lost, no step degrades, and the result still matches.
+func TestFabricChaosKillPortWithSpare(t *testing.T) {
+	check.Enable(t)
+	cfg := groupCfg(53)
+	want := Run(cfg)
+	g, res := runGroup(t, GroupConfig{
+		Train:      cfg,
+		Replicas:   3,
+		SparePorts: 1,
+		KillPort:   1,
+		KillAtStep: 7,
+	})
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("failed-over run diverged")
+	}
+	st := g.Stats()
+	if st.LostReplicas != 0 || st.DegradedSteps != 0 {
+		t.Fatalf("spare port did not prevent degradation: %+v", st)
+	}
+	if g.NetStats().Failovers == 0 {
+		t.Fatalf("kill with spare produced no failover: %+v", g.NetStats())
+	}
+}
+
+// A lost replica revived mid-run rebuilds its local state from the host and
+// rejoins; the run completes bit-identical with the full group back.
+func TestGroupReviveRebuilds(t *testing.T) {
+	check.Enable(t)
+	cfg := groupCfg(59)
+	want := Run(cfg)
+	g, err := NewGroup(GroupConfig{Train: cfg, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g.Trainer().StepCount() < 10 {
+		if err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.KillReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	for g.Trainer().StepCount() < 20 {
+		if err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(g.LiveReplicas()) != 2 {
+		t.Fatal("killed replica still live")
+	}
+	if err := g.ReviveReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.LiveReplicas()) != 3 {
+		t.Fatal("revived replica not live")
+	}
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("revived run diverged")
+	}
+	if st := g.Stats(); st.Rebuilds != 1 || st.LostReplicas != 1 {
+		t.Fatalf("rebuild accounting: %+v", st)
+	}
+}
+
+// A group restored from a PR 2 checkpoint snapshot finishes bit-identical
+// to the uninterrupted group (and therefore to the single trainer).
+func TestGroupSnapshotResume(t *testing.T) {
+	cfg := groupDBACfg(61)
+	ref, err := NewGroup(GroupConfig{Train: cfg, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ref.Trainer().StepCount() < 13 {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ref.Trainer().Snapshot()
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := NewGroupFromSnapshot(GroupConfig{Train: cfg, Replicas: 2}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRes, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refRes, resRes) {
+		t.Fatal("snapshot-restored group diverged")
+	}
+	if !bitsEqual(ref.Trainer().MasterParams(), res.Trainer().MasterParams()) {
+		t.Fatal("snapshot-restored master params diverged")
+	}
+}
+
+// The staged-tape pipeline is worker-count invariant: replicas compute
+// tapes in parallel goroutines but every tape is a pure function of shipped
+// bits.
+func TestGroupWorkersInvariance(t *testing.T) {
+	var results []Result
+	for _, workers := range []int{1, 4} {
+		cfg := groupCfg(67)
+		cfg.Workers = workers
+		_, res := runGroup(t, GroupConfig{Train: cfg, Replicas: 3})
+		res.Config.Workers = 0 // only the worker knob may differ
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("worker count changed the training result")
+	}
+}
+
+// Losing the last replica is a hard error, not a silent wrong answer.
+func TestGroupAllReplicasLost(t *testing.T) {
+	cfg := groupCfg(71)
+	g, err := NewGroup(GroupConfig{Train: cfg, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.KillReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Step(); err == nil {
+		t.Fatal("step with every replica lost succeeded")
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	base := groupCfg(3)
+	for name, gc := range map[string]GroupConfig{
+		"zero-replicas": {Train: base, Replicas: 0},
+		"batch-small":   {Train: base, Replicas: 64},
+		"kill-range":    {Train: base, Replicas: 2, KillPort: 5},
+		"attention": {Train: func() Config {
+			c := base
+			c.Arch = "attention"
+			return c
+		}(), Replicas: 2},
+	} {
+		if _, err := NewGroup(gc); err == nil {
+			t.Fatalf("%s: config accepted", name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package realtrain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Per-sample gradient tapes: the unit of work the data-parallel fabric
+// mode ships from a replica to the host.
+//
+// The house guarantee for the fabric trainer is bit-identity with the
+// single-link Trainer at any replica count. FP32 accumulation is not
+// associative, so replicas cannot pre-sum their shard's gradients — the
+// host must apply every sample's contributions in the original batch
+// order, with the original expression shapes. A sampleTape therefore
+// carries exactly the per-sample intermediates LossAndGrad computes before
+// its accumulator writes (h, x, dz, dh, dx and the loss term); replayTape
+// then performs the accumulator writes verbatim. tapeSample's reductions
+// (dh, dx) are the same single-expression multiply-adds over the same bits
+// as LossAndGrad's interleaved loops, so the pair reproduces LossAndGrad
+// bit-for-bit — asserted by TestTapeReplayMatchesLossAndGrad.
+
+// sampleTape records one example's forward/backward intermediates.
+type sampleTape struct {
+	// pos is the example's position in the step's global batch; replay
+	// happens in ascending pos order.
+	pos int
+	// idx is the dataset example index (resolves tok on the host).
+	idx int
+	// loss is the example's unnormalized -log p(y) term.
+	loss float64
+	// h, x: forward hidden activations (post-ReLU) and mean embedding.
+	// dz, dh, dx: backward intermediates before accumulator writes.
+	h, x, dz, dh, dx []float32
+}
+
+func newSampleTape(m *MLP) *sampleTape {
+	return &sampleTape{
+		h:  make([]float32, m.Hidden),
+		x:  make([]float32, m.Dim),
+		dz: make([]float32, m.Classes),
+		dh: make([]float32, m.Hidden),
+		dx: make([]float32, m.Dim),
+	}
+}
+
+// tapeSample runs the forward and the non-accumulating half of the
+// backward pass for one example, filling tp. inv is the global 1/B batch
+// scale (the full batch size, not the shard's — the tape must be
+// shard-count invariant).
+func (m *MLP) tapeSample(params []float32, ds *Dataset, idx, pos int, inv float32, tp *sampleTape) {
+	tok := ds.TrainTok[idx]
+	y := ds.TrainY[idx]
+	probs, h, x := m.forwardHidden(params, tok)
+	tp.pos = pos
+	tp.idx = idx
+	p := float64(probs[y])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	tp.loss = -math.Log(p)
+	copy(tp.h, h)
+	copy(tp.x, x)
+	for c := range tp.dz {
+		tp.dz[c] = probs[c] * inv
+	}
+	tp.dz[y] -= inv
+	_, w1, _, w2, _ := m.views(params)
+	for j := 0; j < m.Hidden; j++ {
+		w2row := w2[j*m.Classes : (j+1)*m.Classes]
+		var s float32
+		for c, dzc := range tp.dz {
+			s += w2row[c] * dzc
+		}
+		tp.dh[j] = s
+	}
+	for d := 0; d < m.Dim; d++ {
+		base := d * m.Hidden
+		w1row := w1[base : base+m.Hidden]
+		var s float32
+		for j := 0; j < m.Hidden; j++ {
+			if tp.h[j] <= 0 {
+				continue
+			}
+			s += w1row[j] * tp.dh[j]
+		}
+		tp.dx[d] = s
+	}
+}
+
+// replayTape applies one example's accumulator writes to grads, in exactly
+// the order and with exactly the expressions LossAndGrad uses.
+func (m *MLP) replayTape(grads []float32, ds *Dataset, tp *sampleTape) {
+	gemb, gw1, gb1, gw2, gb2 := m.views(grads)
+	for j := 0; j < m.Hidden; j++ {
+		hj := tp.h[j]
+		gw2row := gw2[j*m.Classes : (j+1)*m.Classes]
+		for c, dzc := range tp.dz {
+			gw2row[c] += hj * dzc
+		}
+	}
+	for c := 0; c < m.Classes; c++ {
+		gb2[c] += tp.dz[c]
+	}
+	for j := 0; j < m.Hidden; j++ {
+		if tp.h[j] <= 0 {
+			continue
+		}
+		gb1[j] += tp.dh[j]
+	}
+	for d := 0; d < m.Dim; d++ {
+		base := d * m.Hidden
+		gw1row := gw1[base : base+m.Hidden]
+		xd := tp.x[d]
+		for j := 0; j < m.Hidden; j++ {
+			if tp.h[j] <= 0 {
+				continue
+			}
+			gw1row[j] += xd * tp.dh[j]
+		}
+	}
+	tok := ds.TrainTok[tp.idx]
+	tokInv := float32(1.0 / float64(len(tok)))
+	for _, t := range tok {
+		base := t * m.Dim
+		for d := 0; d < m.Dim; d++ {
+			gemb[base+d] += tp.dx[d] * tokInv
+		}
+	}
+}
+
+// tapeWireLen is the encoded size of a tape for model m.
+func tapeWireLen(m *MLP) int {
+	return 16 + 4*(2*m.Hidden+2*m.Dim+m.Classes)
+}
+
+// appendEncode serializes the tape (the fabric frame payload): pos, idx,
+// loss bits, then the f32 arrays h, x, dz, dh, dx, all little-endian.
+func (tp *sampleTape) appendEncode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(tp.pos))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(tp.idx))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(tp.loss))
+	for _, arr := range [][]float32{tp.h, tp.x, tp.dz, tp.dh, tp.dx} {
+		for _, v := range arr {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	}
+	return dst
+}
+
+// decodeTape deserializes into tp, which must be shaped for the model the
+// payload was produced with (length-checked, fail-closed).
+func (tp *sampleTape) decode(buf []byte, m *MLP) error {
+	if len(buf) != tapeWireLen(m) {
+		return fmt.Errorf("realtrain: tape payload %d bytes, want %d", len(buf), tapeWireLen(m))
+	}
+	tp.pos = int(binary.LittleEndian.Uint32(buf[0:4]))
+	tp.idx = int(binary.LittleEndian.Uint32(buf[4:8]))
+	tp.loss = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16]))
+	o := 16
+	for _, arr := range [][]float32{tp.h, tp.x, tp.dz, tp.dh, tp.dx} {
+		for i := range arr {
+			arr[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[o : o+4]))
+			o += 4
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package realtrain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The foundational fabric equality: computing per-sample tapes and replaying
+// them in batch order reproduces LossAndGrad bit-for-bit — loss and every
+// gradient word.
+func TestTapeReplayMatchesLossAndGrad(t *testing.T) {
+	ds := NewDataset(DatasetConfig{Seed: 3, Vocab: 512, Train: 512})
+	m := NewMLP(ds.Vocab, ds.Dim, 64, ds.Classes, 17)
+	params := m.Params
+	rng := rand.New(rand.NewSource(17))
+
+	batch := ds.Batch(rng, 32)
+	want := make([]float32, len(params))
+	wantLoss := m.LossAndGrad(params, ds, batch, want)
+
+	inv := float32(1.0 / float64(len(batch)))
+	got := make([]float32, len(params))
+	var gotLoss float64
+	// Compute tapes out of order (reverse) to prove order-independence of
+	// the staging phase; replay strictly in batch order.
+	tapes := make([]*sampleTape, len(batch))
+	for pos := len(batch) - 1; pos >= 0; pos-- {
+		tp := newSampleTape(m)
+		m.tapeSample(params, ds, batch[pos], pos, inv, tp)
+		tapes[pos] = tp
+	}
+	for pos := range batch {
+		m.replayTape(got, ds, tapes[pos])
+		gotLoss += tapes[pos].loss
+	}
+	gotLoss /= float64(len(batch))
+
+	if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+		t.Fatalf("loss: replay %v, direct %v", gotLoss, wantLoss)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("grad word %d: replay %x, direct %x",
+				i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// A tape survives the frame codec: encode, decode into a fresh tape, and
+// every field (including float bit patterns) round-trips.
+func TestTapeEncodeDecodeRoundTrip(t *testing.T) {
+	ds := NewDataset(DatasetConfig{Seed: 4, Vocab: 256, Train: 256})
+	m := NewMLP(ds.Vocab, ds.Dim, 48, ds.Classes, 23)
+	params := m.Params
+
+	tp := newSampleTape(m)
+	m.tapeSample(params, ds, 5, 3, 1.0/8, tp)
+
+	wire := tp.appendEncode(nil)
+	if len(wire) != tapeWireLen(m) {
+		t.Fatalf("encoded %d bytes, tapeWireLen says %d", len(wire), tapeWireLen(m))
+	}
+	got := newSampleTape(m)
+	if err := got.decode(wire, m); err != nil {
+		t.Fatal(err)
+	}
+	if got.pos != tp.pos || got.idx != tp.idx ||
+		math.Float64bits(got.loss) != math.Float64bits(tp.loss) {
+		t.Fatalf("header mismatch: %+v vs %+v", got, tp)
+	}
+	pairs := [][2][]float32{
+		{got.h, tp.h}, {got.x, tp.x}, {got.dz, tp.dz}, {got.dh, tp.dh}, {got.dx, tp.dx},
+	}
+	for pi, p := range pairs {
+		for i := range p[0] {
+			if math.Float32bits(p[0][i]) != math.Float32bits(p[1][i]) {
+				t.Fatalf("array %d word %d mismatch", pi, i)
+			}
+		}
+	}
+
+	// Wrong-length payloads are rejected, never partially applied.
+	if err := got.decode(wire[:len(wire)-1], m); err == nil {
+		t.Fatal("truncated tape accepted")
+	}
+	if err := got.decode(append(wire, 0), m); err == nil {
+		t.Fatal("oversized tape accepted")
+	}
+}

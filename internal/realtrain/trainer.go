@@ -222,6 +222,11 @@ type Trainer struct {
 	step    int
 	samples []StepSample
 
+	// gradFn, when set, replaces the local forward/backward: the
+	// data-parallel fabric group installs its sharded tape pipeline here.
+	// nil (the default) leaves the single-trainer behaviour untouched.
+	gradFn func(fwdParams []float32, batch []int, grads []float32) (float64, error)
+
 	// SDC guard state: last recorded per-tensor checksums.
 	masterSum, computeSum uint16
 	adamMSum, adamVSum    uint16
@@ -461,7 +466,15 @@ func (t *Trainer) Step() error {
 		fwdParams = t.fp16View
 	}
 	batch := t.ds.Batch(t.rng, t.cfg.Batch)
-	loss := t.model.LossAndGrad(fwdParams, t.ds, batch, t.grads)
+	var loss float64
+	if t.gradFn != nil {
+		var err error
+		if loss, err = t.gradFn(fwdParams, batch, t.grads); err != nil {
+			return err
+		}
+	} else {
+		loss = t.model.LossAndGrad(fwdParams, t.ds, batch, t.grads)
+	}
 	// Gradients cross GPU->CPU in full FP32 (no DBA for grads).
 	optim.ClipGlobalNorm(t.grads, t.cfg.ClipNorm)
 	if err := t.ad.Step(t.master, t.grads); err != nil {

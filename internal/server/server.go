@@ -41,6 +41,7 @@ import (
 
 	"teco/internal/diskcache"
 	"teco/internal/experiments"
+	"teco/internal/fabric"
 	"teco/internal/parallel"
 )
 
@@ -68,6 +69,9 @@ type Config struct {
 	Workers int
 	// RetryAfter is the hint returned with 503 responses (0: 1s).
 	RetryAfter time.Duration
+	// CacheMaxBytes bounds the on-disk cache; least-recently-used results
+	// are evicted (and recomputed on demand) past it. 0 is unbounded.
+	CacheMaxBytes int64
 	// CacheFaults optionally injects cache-layer faults (chaos harness).
 	CacheFaults *diskcache.Faults
 	// CacheRetrySeed seeds the cache's backoff jitter.
@@ -92,6 +96,10 @@ type Stats struct {
 	Queued   int `json:"queued"`    // cold requests waiting for a slot
 
 	Cache diskcache.Stats `json:"cache"`
+
+	// Fabric is the process-wide switched-fabric telemetry: port flaps,
+	// failovers, frame retries, and degraded-mode training counters.
+	Fabric fabric.Snapshot `json:"fabric"`
 }
 
 // Server is one sweep-service instance. Create with New, expose via
@@ -141,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	cache, err := diskcache.Open(diskcache.Config{
 		Dir:       cfg.CacheDir,
 		RetrySeed: cfg.CacheRetrySeed,
+		MaxBytes:  cfg.CacheMaxBytes,
 		Faults:    cfg.CacheFaults,
 	})
 	if err != nil {
@@ -191,6 +200,7 @@ func (s *Server) Stats() Stats {
 		InFlight:  s.flights.inFlight(),
 		Queued:    s.gate.Queued(),
 		Cache:     s.cache.Stats(),
+		Fabric:    fabric.Counters(),
 	}
 }
 
@@ -240,6 +250,12 @@ type Request struct {
 	Degrade      bool    `json:"degrade,omitempty"`
 	CkptInterval int     `json:"ckpt_interval,omitempty"`
 	CrashAt      int     `json:"crash_at,omitempty"`
+	// Switched-fabric knobs, mirroring tecosim's -replicas/-host-ports/
+	// -kill-port/-kill-step flags.
+	Replicas  int `json:"replicas,omitempty"`
+	HostPorts int `json:"host_ports,omitempty"`
+	KillPort  int `json:"kill_port,omitempty"`
+	KillStep  int `json:"kill_step,omitempty"`
 	// TimeoutMs overrides the server's default per-request deadline,
 	// capped at Config.MaxTimeout.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -255,6 +271,10 @@ func (s *Server) options(req Request) experiments.Options {
 		Degrade:      req.Degrade,
 		CkptInterval: req.CkptInterval,
 		CrashAt:      req.CrashAt,
+		Replicas:     req.Replicas,
+		HostPorts:    req.HostPorts,
+		KillPort:     req.KillPort,
+		KillStep:     req.KillStep,
 		Workers:      s.cfg.Workers,
 	}
 }
@@ -339,6 +359,8 @@ func parseRequest(r *http.Request) (Request, error) {
 	var i64 int64
 	for name, dst := range map[string]*int{
 		"retry_budget": &req.RetryBudget, "ckpt_interval": &req.CkptInterval, "crash_at": &req.CrashAt,
+		"replicas": &req.Replicas, "host_ports": &req.HostPorts,
+		"kill_port": &req.KillPort, "kill_step": &req.KillStep,
 	} {
 		i64 = 0
 		num(name, &i64)
