@@ -10,7 +10,9 @@
 //     tecosimd hot path) regressed past its own, looser threshold —
 //     disk-backed latency on shared CI boxes is far noisier than a CPU
 //     microbenchmark, so the cache gate defaults to 100% headroom where
-//     the stream gate gets 25%.
+//     the stream gate gets 25%, or
+//   - the prefetch-scheduled layered step (internal/layerbench, the
+//     BenchmarkLayerOverlap workload) regressed more than the threshold.
 //
 // Measurements take the best of -repeat runs, so scheduler noise on a busy
 // CI box shows up as a slow outlier that is discarded, not a false failure.
@@ -26,6 +28,7 @@ import (
 	"os"
 
 	"teco/internal/diskcache"
+	"teco/internal/layerbench"
 	"teco/internal/streambench"
 )
 
@@ -39,6 +42,11 @@ type baseline struct {
 	// the baseline predates the cache gate; perfgate then measures and
 	// reports but does not fail (run -update to arm it).
 	WarmCacheP99Ns int64 `json:"warm_cache_p99_ns"`
+	// LayerOverlapNsPerOp is one prefetch-scheduled layered step of the
+	// layerbench workload (BenchmarkLayerOverlap). Zero means the baseline
+	// predates the layer gate; perfgate then measures and reports but does
+	// not fail (run -update to arm it).
+	LayerOverlapNsPerOp int64 `json:"layer_overlap_ns_per_op"`
 }
 
 func main() {
@@ -63,12 +71,17 @@ func main() {
 		diskcache.WarmEntries, diskcache.WarmPayloadBytes, *repeat)
 	fmt.Printf("  p99       %10d ns\n", warmP99)
 
+	overlap := layerbench.Best(*repeat)
+	fmt.Printf("layer-overlap step (GPT-2, cache %d%%, best of %d):\n", layerbench.CachePct, *repeat)
+	fmt.Printf("  scheduled %10d ns/op  %d allocs/op\n", overlap.NsPerOp, overlap.AllocsPerOp)
+
 	if *update {
 		b := baseline{
-			RunLines:         streambench.RunLines,
-			PerLineNsPerOp:   perLine.NsPerOp,
-			CoalescedNsPerOp: coalesced.NsPerOp,
-			WarmCacheP99Ns:   warmP99,
+			RunLines:            streambench.RunLines,
+			PerLineNsPerOp:      perLine.NsPerOp,
+			CoalescedNsPerOp:    coalesced.NsPerOp,
+			WarmCacheP99Ns:      warmP99,
+			LayerOverlapNsPerOp: overlap.NsPerOp,
 		}
 		buf, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -123,6 +136,11 @@ func main() {
 		}
 	} else {
 		fmt.Println("  -- warm-cache p99: no baseline recorded; measuring only (run -update to arm the gate)")
+	}
+	if base.LayerOverlapNsPerOp > 0 {
+		check("layer-overlap", overlap.NsPerOp, base.LayerOverlapNsPerOp)
+	} else {
+		fmt.Println("  -- layer-overlap: no baseline recorded; measuring only (run -update to arm the gate)")
 	}
 	if perLine.AllocsPerOp != 0 || coalesced.AllocsPerOp != 0 {
 		fmt.Fprintf(os.Stderr, "FAIL allocations: per-line %d, coalesced %d allocs/op (want 0)\n",

@@ -33,6 +33,11 @@ func main() {
 	hostPorts := flag.Int("host-ports", 0, "fabric spine uplink count (0: oversubscription grid)")
 	killPort := flag.Int("kill-port", 0, "1-based fabric port to kill in the fault sweep (0: default)")
 	killStep := flag.Int("kill-step", 0, "fine-tuning step at which the fabric chaos kill fires (0: default)")
+	layers := flag.Int("layers", 0, "layer count for the layers sweeps (0: default grid)")
+	cachePct := flag.Int("cache-pct", 0, "fast-tier size for the layers sweeps, percent of model parameter bytes (0: defaults)")
+	prefetch := flag.Int("prefetch", 0, "prefetch look-ahead depth in layers for the layers sweeps (0: defaults)")
+	layerPolicy := flag.String("layer-policy", "", "eviction policy for the layers-policy sweep: lru, fifo, pin (empty: full set)")
+	layerSeqLen := flag.Int("layer-seq-len", 0, "long-context sequence length for the layers-policy sweep (0: default 1024)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS, 1: serial); tables are identical at every setting")
 	noMemo := flag.Bool("no-memo", false, "disable shared-run memoization across experiments (slower, identical output)")
 	coalesce := flag.Bool("coalesce", true, "flow-coalescing fast path for the stream simulator; false runs the bit-identical per-line reference path (slow)")
@@ -64,20 +69,25 @@ func main() {
 		os.Exit(1)
 	}
 	tabs, err := experiments.ByIDWith(flag.Arg(0), experiments.Options{
-		Seed:         *seed,
-		BER:          *ber,
-		RetryBudget:  *retryBudget,
-		Degrade:      *degrade,
-		CkptInterval: *ckptInterval,
-		CkptDir:      *ckptDir,
-		CrashAt:      *crashAt,
-		Replicas:     *replicas,
-		HostPorts:    *hostPorts,
-		KillPort:     *killPort,
-		KillStep:     *killStep,
-		Workers:      *workers,
-		NoMemo:       *noMemo,
-		PerLine:      !*coalesce,
+		Seed:          *seed,
+		BER:           *ber,
+		RetryBudget:   *retryBudget,
+		Degrade:       *degrade,
+		CkptInterval:  *ckptInterval,
+		CkptDir:       *ckptDir,
+		CrashAt:       *crashAt,
+		Replicas:      *replicas,
+		HostPorts:     *hostPorts,
+		KillPort:      *killPort,
+		KillStep:      *killStep,
+		Layers:        *layers,
+		CachePct:      *cachePct,
+		PrefetchDepth: *prefetch,
+		LayerPolicy:   *layerPolicy,
+		LayerSeqLen:   *layerSeqLen,
+		Workers:       *workers,
+		NoMemo:        *noMemo,
+		PerLine:       !*coalesce,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

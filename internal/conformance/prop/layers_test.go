@@ -1,0 +1,174 @@
+package prop
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"teco/internal/conformance/check"
+	"teco/internal/core"
+	"teco/internal/realtrain"
+)
+
+// layerCase is one drawn per-layer offload configuration: stack depth,
+// fast-tier capacity, prefetch depth, eviction policy, and the crash step.
+// Segment sizes with the default dataset are emb=131072 words, block=5120
+// words each, head=264 words, so every drawn capacity holds the embedding
+// (the largest slot) plus a working slot.
+type layerCase struct {
+	seed       int64
+	layers     int    // transformer block count (stack arch)
+	cacheWords int    // fast-tier capacity (0 = unbounded)
+	prefetch   int    // eager look-ahead depth
+	policy     string // eviction discipline
+	pinned     int    // pinned hot segments (policy "pin")
+	workers    int    // trainer parallelism knob
+	dirty      int    // DBA dirty_bytes hyperparameter
+	interval   int    // checkpoint interval (steps)
+	crashAt    int    // step the crash/restore relation kills the run at
+}
+
+func (c layerCase) String() string {
+	return fmt.Sprintf("seed=%d layers=%d cache=%d prefetch=%d policy=%s pinned=%d workers=%d dirty=%d interval=%d crash=%d",
+		c.seed, c.layers, c.cacheWords, c.prefetch, c.policy, c.pinned, c.workers, c.dirty, c.interval, c.crashAt)
+}
+
+// drawLayers generates the deterministic layer-offload case table. A
+// distinct stream constant keeps it decorrelated from the other draws.
+func drawLayers(n int) []layerCase {
+	rng := rand.New(rand.NewSource(propSeed + 2))
+	policies := []string{"lru", "fifo", "pin"}
+	caches := []int{0, 140000, 150000}
+	cases := make([]layerCase, n)
+	for i := range cases {
+		c := layerCase{
+			seed:       rng.Int63n(1 << 30),
+			layers:     2 + rng.Intn(3), // 2..4 blocks
+			cacheWords: caches[rng.Intn(len(caches))],
+			prefetch:   rng.Intn(4),
+			policy:     policies[rng.Intn(len(policies))],
+			workers:    2 + rng.Intn(6),
+			dirty:      1 + rng.Intn(3),
+			interval:   []int{2, 3, 5}[rng.Intn(3)],
+			crashAt:    2 + rng.Intn(5),
+		}
+		if c.policy == "pin" {
+			c.pinned = 1 // the embedding segment
+			if c.cacheWords == 0 {
+				c.cacheWords = 140000 // pinning an unbounded cache is a no-op
+			}
+		}
+		cases[i] = c
+	}
+	return cases
+}
+
+const layerTrainSteps = 8
+
+// trainConfig is the stack fine-tune sized for the harness; the scheduling
+// knobs stay zero here and are grafted on per relation.
+func (c layerCase) trainConfig() realtrain.Config {
+	return realtrain.Config{
+		Arch: "stack", Layers: c.layers,
+		Steps: layerTrainSteps, PreSteps: 12, Batch: 8, Seed: c.seed,
+		DBA: true, ActAfterSteps: 3, DirtyBytes: c.dirty, SampleEvery: 2,
+		SDCChecks: true,
+	}
+}
+
+// sched grafts the drawn scheduling knobs onto a config.
+func (c layerCase) sched(cfg realtrain.Config) realtrain.Config {
+	cfg.SchedCacheWords = c.cacheWords
+	cfg.SchedPrefetch = c.prefetch
+	cfg.SchedPolicy = c.policy
+	cfg.SchedPinned = c.pinned
+	return cfg
+}
+
+// normalizeLayers strips the knobs excluded from the determinism contract —
+// Workers and every scheduling knob (scheduling moves bytes in time, never
+// changes them) — before whole-result comparison.
+func normalizeLayers(r realtrain.Result) realtrain.Result {
+	r.Config.Workers = 0
+	r.Config.SchedCacheWords = 0
+	r.Config.SchedPrefetch = 0
+	r.Config.SchedPolicy = ""
+	r.Config.SchedPinned = 0
+	return r
+}
+
+// TestMetamorphicLayers pushes every drawn per-layer offload configuration
+// through the layer-residency metamorphic relations; it rides the same
+// PROP_CASES budget (and -race CI job) as TestMetamorphic.
+func TestMetamorphicLayers(t *testing.T) {
+	check.Enable(t)
+	for i, c := range drawLayers(caseCount(t)) {
+		c := c
+		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
+			t.Parallel()
+			check.Enable(t)
+			t.Log(c.String())
+
+			ref := realtrain.Run(c.trainConfig())
+
+			// Relation 1: a cache that holds the whole model is the
+			// all-resident baseline — the scheduled run is bit-identical to
+			// the plain trainer.
+			unbounded := c.sched(c.trainConfig())
+			unbounded.SchedCacheWords = 0
+			unbounded.SchedPinned = 0
+			if unbounded.SchedPrefetch == 0 && unbounded.SchedPolicy == "" {
+				unbounded.SchedPolicy = "lru" // keep the scheduler engaged
+			}
+			if got := realtrain.Run(unbounded); !reflect.DeepEqual(normalizeLayers(got), normalizeLayers(ref)) {
+				t.Errorf("unbounded cache != plain trainer:\n sched: %+v\n plain: %+v",
+					normalizeLayers(got), normalizeLayers(ref))
+			}
+
+			// Relation 2: the result is invariant across cache size,
+			// prefetch depth, eviction policy, and worker count.
+			for _, workers := range []int{1, c.workers} {
+				cfg := c.sched(c.trainConfig())
+				cfg.Workers = workers
+				if got := realtrain.Run(cfg); !reflect.DeepEqual(normalizeLayers(got), normalizeLayers(ref)) {
+					t.Errorf("scheduled run (workers=%d) != plain trainer:\n sched: %+v\n plain: %+v",
+						workers, normalizeLayers(got), normalizeLayers(ref))
+				}
+			}
+
+			// Relation 3: N=1 — the scheduler over the single-block MLP (one
+			// segment, nothing to schedule) degrades to the plain trainer.
+			mlp := realtrain.Config{
+				Steps: layerTrainSteps, PreSteps: 12, Batch: 8, Seed: c.seed,
+				DBA: true, ActAfterSteps: 3, DirtyBytes: c.dirty, SampleEvery: 2,
+				SDCChecks: true,
+			}
+			mlpSched := mlp
+			mlpSched.SchedPrefetch = 1 + c.prefetch
+			mlpSched.SchedPolicy = c.policy
+			if c.policy == "pin" {
+				mlpSched.SchedPolicy = "lru" // one segment leaves nothing to pin
+			}
+			mr, ms := realtrain.Run(mlp), realtrain.Run(mlpSched)
+			if !reflect.DeepEqual(normalizeLayers(ms), normalizeLayers(mr)) {
+				t.Errorf("single-block scheduled != plain:\n sched: %+v\n plain: %+v",
+					normalizeLayers(ms), normalizeLayers(mr))
+			}
+
+			// Relation 4: crash + restore mid-run under scheduling lands on
+			// the uninterrupted plain run.
+			scfg := core.SessionConfig{
+				Train: c.sched(c.trainConfig()), Dir: t.TempDir(), Interval: c.interval,
+			}
+			crashed, _, err := core.CrashRun(scfg, c.crashAt)
+			if err != nil {
+				t.Fatalf("crash run (%s): %v", c, err)
+			}
+			if !reflect.DeepEqual(normalizeLayers(crashed), normalizeLayers(ref)) {
+				t.Errorf("crash at %d + restore != uninterrupted:\n crashed: %+v\n direct:  %+v",
+					c.crashAt, normalizeLayers(crashed), normalizeLayers(ref))
+			}
+		})
+	}
+}

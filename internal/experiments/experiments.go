@@ -540,6 +540,8 @@ func AllWith(opt Options) []*Table {
 		func() []*Table { return []*Table{RecoverySweep(opt)} },
 		func() []*Table { return []*Table{FabricSweep(opt)} },
 		func() []*Table { return []*Table{FabricFaultSweep(opt)} },
+		func() []*Table { return []*Table{LayersSweep(opt)} },
+		func() []*Table { return []*Table{LayersPolicySweep(opt)} },
 	}
 	var out []*Table
 	for _, tabs := range grid(opt, len(gens), func(i int) []*Table { return gens[i]() }) {
@@ -577,6 +579,16 @@ func ByIDWith(id string, opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		return []*Table{FabricFaultSweep(opt)}, nil
+	case "layers":
+		if err := opt.validateLayers(); err != nil {
+			return nil, err
+		}
+		return []*Table{LayersSweep(opt)}, nil
+	case "layers-policy":
+		if err := opt.validateLayers(); err != nil {
+			return nil, err
+		}
+		return []*Table{LayersPolicySweep(opt)}, nil
 	case "table1":
 		return []*Table{TableIWith(opt)}, nil
 	case "fig2", "fig2a", "fig2b":
@@ -624,5 +636,5 @@ func IDs() []string {
 	return []string{"table1", "fig2", "ablation-inval", "fig11", "table5", "fig10",
 		"fig12", "volume", "table6", "fig13", "table7", "table8", "lammps",
 		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "faults",
-		"recovery", "fabric", "fabric-faults", "all"}
+		"recovery", "fabric", "fabric-faults", "layers", "layers-policy", "all"}
 }

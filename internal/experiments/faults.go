@@ -49,6 +49,23 @@ type Options struct {
 	// KillStep schedules the fabric chaos kill at that fine-tuning step in
 	// data-parallel training runs (tecosimd's group endpoint).
 	KillStep int
+	// Layers collapses the layers sweep's layer-count axis to one value
+	// (0: default grid) and overrides the layer count in the policy sweep.
+	Layers int
+	// CachePct collapses the layers sweep's fast-tier-size axis to one
+	// percentage of the model's parameter bytes (0: default grid; also the
+	// policy sweep's cache size, default 40).
+	CachePct int
+	// PrefetchDepth overrides the scheduled column's look-ahead depth in
+	// the layers sweep and every prefetching row of the policy sweep
+	// (0: defaults).
+	PrefetchDepth int
+	// LayerPolicy collapses the policy sweep's eviction-policy axis to one
+	// of "lru", "fifo", "pin" ("": full set).
+	LayerPolicy string
+	// LayerSeqLen overrides the policy sweep's long-context sequence
+	// length (0: default 1024).
+	LayerSeqLen int
 	// NoMemo disables the shared-run memoization (runcache.go), forcing
 	// every requested fine-tuning run to execute from scratch. The tables
 	// do not change; only wall-clock does. The benchmark harness uses it

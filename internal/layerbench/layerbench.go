@@ -1,0 +1,73 @@
+// Package layerbench is the shared measurement core for the per-layer
+// offload microbenchmark: BenchmarkLayerOverlap (make bench) and
+// cmd/perfgate both run this one workload, so the gate guards exactly what
+// the benchmark shows. The workload is the layers sweep's headline cell —
+// GPT-2 at a fast tier holding 40% of the model, prefetch depth 1 — i.e.
+// one full prefetch-scheduled StepLayered including the staging-plane walk
+// and the residency bookkeeping.
+package layerbench
+
+import (
+	"testing"
+
+	"teco/internal/core"
+	"teco/internal/modelzoo"
+)
+
+// Batch is the benchmark workload's step batch size.
+const Batch = 4
+
+// CachePct is the fast-tier size in percent of the model's parameter bytes.
+const CachePct = 40
+
+// Result is one measured run of the microbenchmark.
+type Result struct {
+	// NsPerOp is nanoseconds per prefetch-scheduled layered step.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per layered step.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// config returns the benchmark's layer schedule.
+func config(m modelzoo.Model) core.LayerConfig {
+	return core.LayerConfig{
+		CacheBytes: m.ParamBytes() * CachePct / 100,
+		Prefetch:   1,
+	}
+}
+
+// Run executes the workload b.N times (the body of BenchmarkLayerOverlap).
+func Run(b *testing.B) {
+	m := modelzoo.GPT2()
+	e := core.MustEngine(core.Config{DBA: true})
+	lc := config(m)
+	if _, err := e.StepLayered(m, Batch, lc); err != nil { // warm engine pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.StepLayered(m, Batch, lc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Measure runs the microbenchmark via testing.Benchmark (so iteration-count
+// calibration matches `go test -bench`).
+func Measure() Result {
+	r := testing.Benchmark(Run)
+	return Result{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+}
+
+// Best returns the fastest of n repeated measurements — slowdowns on a
+// shared machine are interference, never the code being "luckily" fast.
+func Best(n int) Result {
+	best := Measure()
+	for i := 1; i < n; i++ {
+		if r := Measure(); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,7 @@
+package layerbench
+
+import "testing"
+
+// BenchmarkLayerOverlap is the per-layer offload microbenchmark `make
+// bench` reports and cmd/perfgate gates against perf_baseline.json.
+func BenchmarkLayerOverlap(b *testing.B) { Run(b) }

@@ -176,6 +176,41 @@ func (f FabricStats) Any() bool {
 		f.Failovers != 0 || f.LostReplicas != 0
 }
 
+// LayerStats summarizes per-layer offload scheduling during one step: how
+// the layer traversal interacted with the capacity-bounded fast tier (zero
+// when the step ran without a layer scheduler).
+type LayerStats struct {
+	// Layers is the scheduled layer count; CacheBytes is the fast-tier
+	// capacity and ResidentBytes the bytes held when the step finished.
+	Layers        int64
+	CacheBytes    int64
+	ResidentBytes int64
+	// Hits / PrefetchHits / DemandMisses classify the demand uses;
+	// PrefetchIssued and Evictions count fast-tier churn.
+	Hits           int64
+	PrefetchHits   int64
+	DemandMisses   int64
+	PrefetchIssued int64
+	Evictions      int64
+	// FetchBytes / WritebackBytes are the staging-plane link volumes
+	// (layer fetches down, activation spills and writebacks up).
+	FetchBytes     int64
+	WritebackBytes int64
+	// DemandStall is fetch latency fully exposed on the critical path
+	// (layer not resident when execution reached it); PrefetchStall is the
+	// residual wait on fetches a prefetch started but compute outran;
+	// ActStall is the activation refetch wait of the offload mode.
+	DemandStall   sim.Time
+	PrefetchStall sim.Time
+	ActStall      sim.Time
+}
+
+// Any reports whether any layer-scheduling activity was recorded.
+func (l LayerStats) Any() bool {
+	return l.Layers != 0 || l.Hits != 0 || l.DemandMisses != 0 ||
+		l.FetchBytes != 0 || l.WritebackBytes != 0
+}
+
 // RecoveryStats summarizes checkpoint/restore activity above the link
 // layer: how often the run checkpointed, how many silent-data-corruption
 // events were detected, and what rolling back and replaying cost. The
@@ -240,6 +275,9 @@ type StepResult struct {
 	// Fabric is the switched-fabric accounting (zero on the
 	// point-to-point engines).
 	Fabric FabricStats
+	// Layer is the per-layer offload-scheduling accounting (zero when the
+	// step ran whole-model).
+	Layer LayerStats
 }
 
 // TotalLinkBytes returns combined link volume.
@@ -297,6 +335,27 @@ func (r StepResult) Check() error {
 	}
 	if fb.Degraded && fb.LostReplicas == 0 {
 		return fmt.Errorf("phases: degraded fabric step without a lost replica")
+	}
+	l := r.Layer
+	if l.Layers < 0 || l.CacheBytes < 0 || l.ResidentBytes < 0 || l.Hits < 0 ||
+		l.PrefetchHits < 0 || l.DemandMisses < 0 || l.PrefetchIssued < 0 ||
+		l.Evictions < 0 || l.FetchBytes < 0 || l.WritebackBytes < 0 {
+		return fmt.Errorf("phases: negative layer counter %+v", l)
+	}
+	if l.DemandStall < 0 || l.PrefetchStall < 0 || l.ActStall < 0 {
+		return fmt.Errorf("phases: negative layer stall (%v %v %v)", l.DemandStall, l.PrefetchStall, l.ActStall)
+	}
+	if l.PrefetchHits > l.Hits {
+		return fmt.Errorf("phases: %d prefetch hits of %d hits", l.PrefetchHits, l.Hits)
+	}
+	if l.CacheBytes > 0 && l.ResidentBytes > l.CacheBytes {
+		return fmt.Errorf("phases: %d resident bytes exceed %d cache", l.ResidentBytes, l.CacheBytes)
+	}
+	if l.DemandMisses == 0 && l.DemandStall != 0 {
+		return fmt.Errorf("phases: %v demand stall with zero misses", l.DemandStall)
+	}
+	if l.PrefetchIssued == 0 && (l.PrefetchHits != 0 || l.PrefetchStall != 0) {
+		return fmt.Errorf("phases: prefetch results without issued prefetches %+v", l)
 	}
 	return nil
 }

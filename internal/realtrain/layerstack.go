@@ -1,0 +1,457 @@
+package realtrain
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LayerStack is the real N-layer transformer proxy: the single-head
+// attention block and the MLP block that already exist as standalone
+// classifiers, composed into an explicit residual layer sequence —
+//
+//	tokens -> Emb -> N x [ x + attn(x) ; x + mlp(x) ] -> mean-pool -> logits
+//
+// — so the repo finally trains the workload shape the paper's per-layer
+// offload scheduling targets. The whole model stays one flat FP32 vector
+// for the DBA machinery, but unlike the single-block proxies its parameter
+// vector has an explicit layer-granular segmentation (Segments) that the
+// offload scheduler stages through the fast tier one layer at a time. The
+// backward pass is hand-derived and validated against finite differences
+// (layerstack_test.go).
+type LayerStack struct {
+	Vocab, Dim, Classes, Layers int
+	Params                      []float32
+}
+
+// NewLayerStack builds an n-layer stack with scaled random initialization.
+// The per-block output projections (Wv's successor path and the MLP's
+// second matrix) are damped by 1/sqrt(2n), the GPT-2 residual-scaling rule,
+// so activations stay bounded at any depth.
+func NewLayerStack(vocab, dim, classes, layers int, seed int64) *LayerStack {
+	if layers < 1 {
+		layers = 1
+	}
+	m := &LayerStack{Vocab: vocab, Dim: dim, Classes: classes, Layers: layers}
+	m.Params = make([]float32, m.NumParams())
+	rng := rand.New(rand.NewSource(seed))
+	emb := m.emb(m.Params)
+	for i := range emb {
+		emb[i] = 0.5 * float32(rng.NormFloat64())
+	}
+	s := float32(math.Sqrt(1 / float64(dim)))
+	s1 := float32(math.Sqrt(2 / float64(dim)))
+	damp := s / float32(math.Sqrt(2*float64(layers)))
+	for l := 0; l < layers; l++ {
+		wq, wk, wv, wf1, wf2 := m.block(m.Params, l)
+		for _, w := range [][]float32{wq, wk} {
+			for i := range w {
+				w[i] = s * float32(rng.NormFloat64())
+			}
+		}
+		for i := range wv {
+			wv[i] = damp * float32(rng.NormFloat64())
+		}
+		for i := range wf1 {
+			wf1[i] = s1 * float32(rng.NormFloat64())
+		}
+		for i := range wf2 {
+			wf2[i] = damp * float32(rng.NormFloat64())
+		}
+	}
+	wo, _ := m.head(m.Params)
+	for i := range wo {
+		wo[i] = s * float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// blockParams is the flat parameter count of one layer:
+// Wq + Wk + Wv (attention) and Wf1 + Wf2 (the dim->dim MLP sublayer).
+func (m *LayerStack) blockParams() int { return 5 * m.Dim * m.Dim }
+
+// NumParams returns the flat parameter count:
+// Emb + N blocks + classifier head.
+func (m *LayerStack) NumParams() int {
+	return m.Vocab*m.Dim + m.Layers*m.blockParams() + m.Dim*m.Classes + m.Classes
+}
+
+// Parameters returns the stack's flat parameter vector.
+func (m *LayerStack) Parameters() []float32 { return m.Params }
+
+func (m *LayerStack) emb(p []float32) []float32 { return p[:m.Vocab*m.Dim] }
+
+// block slices layer l's five weight matrices out of a flat vector.
+func (m *LayerStack) block(p []float32, l int) (wq, wk, wv, wf1, wf2 []float32) {
+	d := m.Dim
+	o := m.Vocab*d + l*m.blockParams()
+	wq = p[o : o+d*d]
+	o += d * d
+	wk = p[o : o+d*d]
+	o += d * d
+	wv = p[o : o+d*d]
+	o += d * d
+	wf1 = p[o : o+d*d]
+	o += d * d
+	wf2 = p[o : o+d*d]
+	return
+}
+
+func (m *LayerStack) head(p []float32) (wo, bo []float32) {
+	o := m.Vocab*m.Dim + m.Layers*m.blockParams()
+	wo = p[o : o+m.Dim*m.Classes]
+	o += m.Dim * m.Classes
+	bo = p[o : o+m.Classes]
+	return
+}
+
+// Segments returns the layer-granular segmentation of the flat parameter
+// vector: the embedding table, one segment per transformer block, and the
+// classifier head. Segments tile [0, NumParams) exactly (asserted by the
+// scheduler's residency invariants), which is what lets the offload
+// scheduler move layers independently while per-segment merges stay
+// bit-identical to the whole-vector transfer.
+func (m *LayerStack) Segments() []Segment {
+	segs := make([]Segment, 0, m.Layers+2)
+	o := m.Vocab * m.Dim
+	segs = append(segs, Segment{Name: "emb", Lo: 0, Hi: o})
+	for l := 0; l < m.Layers; l++ {
+		segs = append(segs, Segment{Name: "layer" + itoa(l), Lo: o, Hi: o + m.blockParams()})
+		o += m.blockParams()
+	}
+	segs = append(segs, Segment{Name: "head", Lo: o, Hi: m.NumParams()})
+	return segs
+}
+
+// ActivationWordsPerLayer estimates the FP32 activation words one block
+// keeps for backward on a T-token example: six T x Dim tensors
+// (xin/q/k/v/xa/f) plus the T x T attention rows. The scheduler charges
+// this per (example, layer) when accounting activation traffic.
+func (m *LayerStack) ActivationWordsPerLayer(t int) int {
+	return 6*t*m.Dim + t*t
+}
+
+// itoa is strconv.Itoa for the small non-negative ints of segment names,
+// kept local to avoid an import for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// stackBlockState keeps one block's forward activations for backward.
+type stackBlockState struct {
+	xin     [][]float32 // T x D input to the block
+	q, k, v [][]float32 // T x D projections
+	attn    [][]float32 // T x T softmax rows
+	xa      [][]float32 // T x D xin + attention output (MLP sublayer input)
+	f       [][]float32 // T x D post-ReLU MLP hidden
+}
+
+// stackState is one example's full forward trace.
+type stackState struct {
+	blocks []stackBlockState
+	xout   [][]float32 // T x D output of the last block
+	pooled []float32
+	probs  []float32
+}
+
+// forward runs the stack on one token sequence, recording every block's
+// activations.
+func (m *LayerStack) forward(params []float32, tok []int) *stackState {
+	d := m.Dim
+	T := len(tok)
+	st := &stackState{blocks: make([]stackBlockState, m.Layers), pooled: make([]float32, d)}
+	emb := m.emb(params)
+	x := matRows(T, d)
+	for t, id := range tok {
+		copy(x[t], emb[id*d:(id+1)*d])
+	}
+	scale := float32(1 / math.Sqrt(float64(d)))
+	for l := 0; l < m.Layers; l++ {
+		wq, wk, wv, wf1, wf2 := m.block(params, l)
+		bs := &st.blocks[l]
+		bs.xin = x
+		bs.q, bs.k, bs.v = matRows(T, d), matRows(T, d), matRows(T, d)
+		bs.attn = matRows(T, T)
+		bs.xa, bs.f = matRows(T, d), matRows(T, d)
+		proj := func(dst [][]float32, w []float32) {
+			for t := 0; t < T; t++ {
+				for j := 0; j < d; j++ {
+					var s float32
+					for i := 0; i < d; i++ {
+						s += x[t][i] * w[i*d+j]
+					}
+					dst[t][j] = s
+				}
+			}
+		}
+		proj(bs.q, wq)
+		proj(bs.k, wk)
+		proj(bs.v, wv)
+		for t := 0; t < T; t++ {
+			row := bs.attn[t]
+			for u := 0; u < T; u++ {
+				var s float32
+				for i := 0; i < d; i++ {
+					s += bs.q[t][i] * bs.k[u][i]
+				}
+				row[u] = s * scale
+			}
+			copy(row, softmax(row))
+		}
+		// Residual 1: xa = xin + attn(xin).
+		for t := 0; t < T; t++ {
+			for j := 0; j < d; j++ {
+				var s float32
+				for u := 0; u < T; u++ {
+					s += bs.attn[t][u] * bs.v[u][j]
+				}
+				bs.xa[t][j] = x[t][j] + s
+			}
+		}
+		// MLP sublayer: f = ReLU(xa Wf1), residual 2: xout = xa + f Wf2.
+		for t := 0; t < T; t++ {
+			for j := 0; j < d; j++ {
+				var s float32
+				for i := 0; i < d; i++ {
+					s += bs.xa[t][i] * wf1[i*d+j]
+				}
+				if s < 0 {
+					s = 0
+				}
+				bs.f[t][j] = s
+			}
+		}
+		next := matRows(T, d)
+		for t := 0; t < T; t++ {
+			for j := 0; j < d; j++ {
+				var s float32
+				for i := 0; i < d; i++ {
+					s += bs.f[t][i] * wf2[i*d+j]
+				}
+				next[t][j] = bs.xa[t][j] + s
+			}
+		}
+		x = next
+	}
+	st.xout = x
+	wo, bo := m.head(params)
+	for t := 0; t < T; t++ {
+		for j := 0; j < d; j++ {
+			st.pooled[j] += x[t][j] / float32(T)
+		}
+	}
+	logits := make([]float32, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		s := bo[c]
+		for j := 0; j < d; j++ {
+			s += st.pooled[j] * wo[j*m.Classes+c]
+		}
+		logits[c] = s
+	}
+	st.probs = softmax(logits)
+	return st
+}
+
+// Forward returns class probabilities for one example.
+func (m *LayerStack) Forward(params []float32, tok []int) []float32 {
+	return m.forward(params, tok).probs
+}
+
+// backBlock backpropagates one block: dX is the gradient at the block's
+// output; the return value is the gradient at its input. Weight gradients
+// accumulate into grads.
+func (m *LayerStack) backBlock(params, grads []float32, l int, bs *stackBlockState, dX [][]float32) [][]float32 {
+	d := m.Dim
+	T := len(dX)
+	wq, wk, wv, wf1, wf2 := m.block(params, l)
+	gwq, gwk, gwv, gwf1, gwf2 := m.block(grads, l)
+	scale := float32(1 / math.Sqrt(float64(d)))
+
+	// Residual 2: xout = xa + f Wf2 — dX reaches both xa and the MLP path.
+	dXa := matRows(T, d)
+	dF := matRows(T, d)
+	for t := 0; t < T; t++ {
+		copy(dXa[t], dX[t])
+		for i := 0; i < d; i++ {
+			fti := bs.f[t][i]
+			var acc float32
+			for j := 0; j < d; j++ {
+				gwf2[i*d+j] += fti * dX[t][j]
+				acc += dX[t][j] * wf2[i*d+j]
+			}
+			dF[t][i] = acc
+		}
+	}
+	// ReLU gate, then f = xa Wf1.
+	for t := 0; t < T; t++ {
+		for j := 0; j < d; j++ {
+			if bs.f[t][j] <= 0 {
+				dF[t][j] = 0
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		for i := 0; i < d; i++ {
+			xti := bs.xa[t][i]
+			var acc float32
+			for j := 0; j < d; j++ {
+				gwf1[i*d+j] += xti * dF[t][j]
+				acc += dF[t][j] * wf1[i*d+j]
+			}
+			dXa[t][i] += acc
+		}
+	}
+
+	// Residual 1: xa = xin + A V — dXa reaches both xin and attention.
+	dXin := matRows(T, d)
+	for t := 0; t < T; t++ {
+		copy(dXin[t], dXa[t])
+	}
+	dA := matRows(T, T)
+	dV := matRows(T, d)
+	for t := 0; t < T; t++ {
+		for u := 0; u < T; u++ {
+			var s float32
+			for j := 0; j < d; j++ {
+				s += dXa[t][j] * bs.v[u][j]
+				dV[u][j] += bs.attn[t][u] * dXa[t][j]
+			}
+			dA[t][u] = s
+		}
+	}
+	// Softmax backward per row, then Q/K.
+	dQ := matRows(T, d)
+	dK := matRows(T, d)
+	for t := 0; t < T; t++ {
+		var dot float32
+		for u := 0; u < T; u++ {
+			dot += dA[t][u] * bs.attn[t][u]
+		}
+		for u := 0; u < T; u++ {
+			ds := bs.attn[t][u] * (dA[t][u] - dot) * scale
+			for i := 0; i < d; i++ {
+				dQ[t][i] += ds * bs.k[u][i]
+				dK[u][i] += ds * bs.q[t][i]
+			}
+		}
+	}
+	// Projections: P = X W  =>  dW += X^T dP, dX += dP W^T.
+	backProj := func(dP [][]float32, w, gw []float32) {
+		for t := 0; t < T; t++ {
+			for i := 0; i < d; i++ {
+				xti := bs.xin[t][i]
+				var acc float32
+				for j := 0; j < d; j++ {
+					gw[i*d+j] += xti * dP[t][j]
+					acc += dP[t][j] * w[i*d+j]
+				}
+				dXin[t][i] += acc
+			}
+		}
+	}
+	backProj(dQ, wq, gwq)
+	backProj(dK, wk, gwk)
+	backProj(dV, wv, gwv)
+	return dXin
+}
+
+// LossAndGrad computes mean cross-entropy over a minibatch and the full
+// gradient into grads (zeroed first). Returns the loss.
+func (m *LayerStack) LossAndGrad(params []float32, ds *Dataset, batch []int, grads []float32) float64 {
+	for i := range grads {
+		grads[i] = 0
+	}
+	d := m.Dim
+	wo, _ := m.head(params)
+	gemb := m.emb(grads)
+	gwo, gbo := m.head(grads)
+	var loss float64
+	inv := float32(1.0 / float64(len(batch)))
+
+	for _, idx := range batch {
+		tok := ds.TrainTok[idx]
+		y := ds.TrainY[idx]
+		T := len(tok)
+		st := m.forward(params, tok)
+		p := float64(st.probs[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+
+		// Classifier backward.
+		dPooled := make([]float32, d)
+		for c := 0; c < m.Classes; c++ {
+			dz := st.probs[c] * inv
+			if c == y {
+				dz -= inv
+			}
+			gbo[c] += dz
+			for j := 0; j < d; j++ {
+				gwo[j*m.Classes+c] += st.pooled[j] * dz
+				dPooled[j] += wo[j*m.Classes+c] * dz
+			}
+		}
+		// Mean pool backward.
+		dX := matRows(T, d)
+		for t := 0; t < T; t++ {
+			for j := 0; j < d; j++ {
+				dX[t][j] = dPooled[j] / float32(T)
+			}
+		}
+		// Blocks in reverse — the backward layer order the per-layer
+		// offload scheduler replays.
+		for l := m.Layers - 1; l >= 0; l-- {
+			dX = m.backBlock(params, grads, l, &st.blocks[l], dX)
+		}
+		// Embedding rows.
+		for t, id := range tok {
+			base := id * d
+			for i := 0; i < d; i++ {
+				gemb[base+i] += dX[t][i]
+			}
+		}
+	}
+	return loss / float64(len(batch))
+}
+
+// Accuracy evaluates top-1 accuracy on the test split.
+func (m *LayerStack) Accuracy(params []float32, ds *Dataset) float64 {
+	correct := 0
+	for i, tok := range ds.TestTok {
+		probs := m.Forward(params, tok)
+		best := 0
+		for c := range probs {
+			if probs[c] > probs[best] {
+				best = c
+			}
+		}
+		if best == ds.TestY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ds.TestTok))
+}
+
+// MeanLoss evaluates mean cross-entropy on the test split.
+func (m *LayerStack) MeanLoss(params []float32, ds *Dataset) float64 {
+	var loss float64
+	for i, tok := range ds.TestTok {
+		probs := m.Forward(params, tok)
+		p := float64(probs[ds.TestY[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+	}
+	return loss / float64(len(ds.TestTok))
+}

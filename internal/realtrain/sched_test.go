@@ -1,0 +1,282 @@
+package realtrain
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"teco/internal/conformance/check"
+)
+
+// schedBase is a short stack run; segment sizes with the default dataset
+// are emb=131072 words, block=5120 words each, head=264 words.
+func schedBase(layers int) Config {
+	return Config{
+		Arch: "stack", Layers: layers,
+		Steps: 8, Batch: 8, PreSteps: 12, Seed: 13, SampleEvery: 2,
+	}
+}
+
+// normalizeSched zeroes a Result's scheduling knobs so runs differing only
+// in scheduling compare DeepEqual — the same normalization configTag
+// applies.
+func normalizeSched(r Result) Result {
+	r.Config.SchedCacheWords = 0
+	r.Config.SchedPrefetch = 0
+	r.Config.SchedPolicy = ""
+	r.Config.SchedPinned = 0
+	return r
+}
+
+func runTrainer(t *testing.T, cfg Config) (*Trainer, Result) {
+	t.Helper()
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !tr.Done() {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, tr.Result()
+}
+
+// TestSchedBitIdentityMLP asserts the scheduled single-block path (an MLP
+// has no layer segmentation, so the scheduler sees one segment) is
+// bit-identical to the plain trainer — the N=1 degradation guarantee.
+func TestSchedBitIdentityMLP(t *testing.T) {
+	check.Enable(t)
+	base := Config{Steps: 10, PreSteps: 15, Seed: 21, SampleEvery: 3, DBA: true, ActAfterSteps: 4}
+	wantTr, want := runTrainer(t, base)
+
+	sched := base
+	sched.SchedPrefetch = 1
+	sched.SchedPolicy = "lru"
+	gotTr, got := runTrainer(t, sched)
+	if !reflect.DeepEqual(normalizeSched(got), normalizeSched(want)) {
+		t.Fatal("scheduled single-block result diverged from plain trainer")
+	}
+	if !bitsEqual(gotTr.MasterParams(), wantTr.MasterParams()) {
+		t.Fatal("scheduled single-block master params diverged")
+	}
+	if !bitsEqual(gotTr.ComputeParams(), wantTr.ComputeParams()) {
+		t.Fatal("scheduled single-block compute params diverged")
+	}
+	st, ok := gotTr.SchedStats()
+	if !ok || st.Segments != 1 {
+		t.Fatalf("single-block scheduler stats %+v ok=%v", st, ok)
+	}
+	if _, ok := wantTr.SchedStats(); ok {
+		t.Fatal("plain trainer reports scheduler stats")
+	}
+}
+
+// TestSchedBitIdentityStack asserts every scheduling configuration — cache
+// size, prefetch depth, eviction policy, pinning, with and without DBA —
+// trains the stack to bit-identical parameters: scheduling only moves
+// bytes around in time, never changes them.
+func TestSchedBitIdentityStack(t *testing.T) {
+	check.Enable(t)
+	for name, mut := range map[string]func(*Config){
+		"plain": func(c *Config) {},
+		"dba":   func(c *Config) { c.DBA = true; c.ActAfterSteps = 3 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			base := schedBase(4)
+			mut(&base)
+			wantTr, want := runTrainer(t, base)
+
+			for label, knobs := range map[string]Config{
+				"unbounded-lru":  {SchedPolicy: "lru"},
+				"tight-cache":    {SchedCacheWords: 132000},
+				"tight-prefetch": {SchedCacheWords: 132000, SchedPrefetch: 2},
+				"fifo":           {SchedCacheWords: 140000, SchedPrefetch: 1, SchedPolicy: "fifo"},
+				"pinned-emb":     {SchedCacheWords: 140000, SchedPrefetch: 1, SchedPolicy: "pin", SchedPinned: 1},
+				"deep-prefetch":  {SchedCacheWords: 145000, SchedPrefetch: 5},
+			} {
+				cfg := base
+				cfg.SchedCacheWords = knobs.SchedCacheWords
+				cfg.SchedPrefetch = knobs.SchedPrefetch
+				cfg.SchedPolicy = knobs.SchedPolicy
+				cfg.SchedPinned = knobs.SchedPinned
+				gotTr, got := runTrainer(t, cfg)
+				if !reflect.DeepEqual(normalizeSched(got), normalizeSched(want)) {
+					t.Fatalf("%s: scheduled result diverged", label)
+				}
+				if !bitsEqual(gotTr.MasterParams(), wantTr.MasterParams()) {
+					t.Fatalf("%s: master params diverged", label)
+				}
+				if !bitsEqual(gotTr.ComputeParams(), wantTr.ComputeParams()) {
+					t.Fatalf("%s: compute params diverged", label)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedGroupComposes asserts the scheduler composes with the PR 7
+// data-parallel fabric: an MLP group whose trainer runs under scheduling
+// knobs is still bit-identical to the plain single trainer.
+func TestSchedGroupComposes(t *testing.T) {
+	check.Enable(t)
+	base := Config{Steps: 12, PreSteps: 15, Seed: 33, SampleEvery: 4}
+	wantTr, want := runTrainer(t, base)
+
+	sched := base
+	sched.SchedPrefetch = 1
+	g, res := runGroup(t, GroupConfig{Train: sched, Replicas: 2})
+	if !reflect.DeepEqual(normalizeSched(res), normalizeSched(want)) {
+		t.Fatal("scheduled group result diverged from plain trainer")
+	}
+	if !bitsEqual(g.Trainer().MasterParams(), wantTr.MasterParams()) {
+		t.Fatal("scheduled group master params diverged")
+	}
+	if st, ok := g.Trainer().SchedStats(); !ok || st.Residency.Hits == 0 {
+		t.Fatalf("group trainer scheduler inactive: %+v ok=%v", st, ok)
+	}
+}
+
+// TestSchedStatsAccounting pins down the residency arithmetic of a bounded
+// run: every segment is demand-used exactly three times per step (forward,
+// backward, transfer), the full vector routes through the staging buffer
+// each step, a too-small cache shows real miss/eviction churn, and block
+// layers spill activations both ways.
+func TestSchedStatsAccounting(t *testing.T) {
+	check.Enable(t)
+	cfg := schedBase(4)
+	cfg.SchedCacheWords = 132000 // emb fits; blocks and head fight for the rest
+	tr, _ := runTrainer(t, cfg)
+
+	st, ok := tr.SchedStats()
+	if !ok {
+		t.Fatal("scheduler stats unavailable")
+	}
+	if st.Segments != cfg.Layers+2 {
+		t.Fatalf("segments %d, want %d", st.Segments, cfg.Layers+2)
+	}
+	if st.CapacityWords != int64(cfg.SchedCacheWords) {
+		t.Fatalf("capacity %d words, want %d", st.CapacityWords, cfg.SchedCacheWords)
+	}
+	steps := int64(cfg.Steps)
+	for i, h := range st.Heat {
+		if h != 3*steps {
+			t.Fatalf("segment %d heat %d, want %d", i, h, 3*steps)
+		}
+	}
+	n := int64(tr.model.NumParams())
+	if st.TransferredWords != steps*n {
+		t.Fatalf("transferred %d words, want %d", st.TransferredWords, steps*n)
+	}
+	if st.BufferSwaps == 0 || st.GradWords != steps*n {
+		t.Fatalf("staging counters implausible: %+v", st)
+	}
+	if st.Residency.DemandMisses == 0 || st.Residency.Evictions == 0 {
+		t.Fatalf("tight cache produced no churn: %+v", st.Residency)
+	}
+	if st.ActWords == 0 {
+		t.Fatal("block layers spilled no activations")
+	}
+	if st.ResidentWords > st.CapacityWords {
+		t.Fatalf("resident %d exceeds capacity %d", st.ResidentWords, st.CapacityWords)
+	}
+}
+
+// TestSchedPrefetchConvertsMisses asserts the eager window does its job:
+// with prefetch on, some demand uses that would have missed are absorbed
+// as prefetch hits; with prefetch off, no prefetch traffic exists at all.
+func TestSchedPrefetchConvertsMisses(t *testing.T) {
+	cfg := schedBase(4)
+	cfg.SchedCacheWords = 140000
+	trOff, _ := runTrainer(t, cfg)
+	off, _ := trOff.SchedStats()
+	if off.Residency.PrefetchIssued != 0 || off.Residency.PrefetchHits != 0 {
+		t.Fatalf("demand-only run issued prefetches: %+v", off.Residency)
+	}
+
+	cfg.SchedPrefetch = 2
+	trOn, _ := runTrainer(t, cfg)
+	on, _ := trOn.SchedStats()
+	if on.Residency.PrefetchIssued == 0 || on.Residency.PrefetchHits == 0 {
+		t.Fatalf("prefetch window produced no hits: %+v", on.Residency)
+	}
+	if on.Residency.DemandMisses >= off.Residency.DemandMisses {
+		t.Fatalf("prefetch did not reduce demand misses: %d vs %d",
+			on.Residency.DemandMisses, off.Residency.DemandMisses)
+	}
+}
+
+// TestSchedConfigErrors asserts malformed scheduling configurations fail
+// at construction, not mid-run.
+func TestSchedConfigErrors(t *testing.T) {
+	bad := schedBase(3)
+	bad.SchedPolicy = "mru"
+	if _, err := NewTrainer(bad); err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("bad policy: err=%v", err)
+	}
+
+	small := schedBase(3)
+	small.SchedCacheWords = 1000 // below the embedding segment
+	if _, err := NewTrainer(small); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("undersized cache: err=%v", err)
+	}
+
+	pin := schedBase(3)
+	pin.SchedPolicy = "pin"
+	pin.SchedPinned = 1
+	pin.SchedCacheWords = 132000 // emb pinned leaves no room for a working slot
+	if _, err := NewTrainer(pin); err == nil || !strings.Contains(err.Error(), "pinned") {
+		t.Fatalf("overpinned cache: err=%v", err)
+	}
+}
+
+// TestSchedSnapshotAcrossPolicies asserts a snapshot taken under one
+// scheduling configuration restores under any other (the knobs are outside
+// the config fingerprint) and the continuation stays bit-identical.
+func TestSchedSnapshotAcrossPolicies(t *testing.T) {
+	check.Enable(t)
+	cfg := schedBase(3)
+	cfg.SchedCacheWords = 140000
+	cfg.SchedPrefetch = 1
+
+	ref, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ref.Done() {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tr.Snapshot()
+
+	restoreCfg := cfg
+	restoreCfg.SchedCacheWords = 0
+	restoreCfg.SchedPrefetch = 0
+	restoreCfg.SchedPolicy = "fifo"
+	restored, err := NewTrainerFromSnapshot(restoreCfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !restored.Done() {
+		if err := restored.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(normalizeSched(restored.Result()), normalizeSched(ref.Result())) {
+		t.Fatal("cross-policy restore diverged from uninterrupted run")
+	}
+	if !bitsEqual(restored.MasterParams(), ref.MasterParams()) {
+		t.Fatal("cross-policy restore master params diverged")
+	}
+}

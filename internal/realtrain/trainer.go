@@ -40,9 +40,25 @@ type Config struct {
 	// SampleEvery controls how often byte-change distributions and loss
 	// are recorded (default every 10 steps).
 	SampleEvery int
-	// Arch selects the proxy architecture: "mlp" (default) or
-	// "attention" (single-head self-attention classifier).
+	// Arch selects the proxy architecture: "mlp" (default), "attention"
+	// (single-head self-attention classifier) or "stack" (the N-layer
+	// residual transformer the per-layer offload scheduler targets).
 	Arch string
+	// Layers is the block count of the "stack" arch (default 2); other
+	// architectures ignore it.
+	Layers int
+	// Per-layer offload scheduling knobs. Setting any of them routes the
+	// step's parameter/gradient traffic through an OffloadScheduler:
+	// layer-granular segments staged through internal/staging under a
+	// capacity-bounded fast-tier residency model. Like Workers these are
+	// pure scheduling knobs — the trained model is bit-identical at every
+	// setting (asserted by the metamorphic suite) — so all four are
+	// excluded from the config fingerprint and snapshots restore across
+	// scheduling configurations.
+	SchedCacheWords int    // fast-tier capacity in FP32 words; 0 = every layer fits
+	SchedPrefetch   int    // eager-prefetch depth in layers; 0 = demand-only
+	SchedPolicy     string // eviction policy: "" or "lru", "fifo", "pin"
+	SchedPinned     int    // pinned hot-layer count (policy "pin")
 	// SDCChecks enables the silent-data-corruption guards: per-tensor
 	// checksums validated at every step boundary and after each DBA
 	// merge, and a NaN/Inf scan of the master parameters after each ADAM
@@ -92,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.Arch == "" {
 		c.Arch = "mlp"
 	}
+	if c.Arch == "stack" && c.Layers == 0 {
+		c.Layers = 2
+	}
 	return c
 }
 
@@ -101,12 +120,19 @@ func (c Config) withDefaults() Config {
 // SDCChecks is excluded — the guards are read-only and a guarded session
 // may restore a snapshot written by an unguarded run. Workers is excluded
 // for the same reason: parallel and serial runs are bit-identical, so a
-// snapshot written at one worker count restores at any other.
+// snapshot written at one worker count restores at any other. The offload
+// scheduling knobs (SchedCacheWords/SchedPrefetch/SchedPolicy/SchedPinned)
+// are excluded on the same grounds: residency policy never changes the
+// numerics, so a snapshot taken under one policy restores under any other.
 func (c Config) configTag() uint64 {
 	h := fnv.New64a()
 	cc := c
 	cc.SDCChecks = false
 	cc.Workers = 0
+	cc.SchedCacheWords = 0
+	cc.SchedPrefetch = 0
+	cc.SchedPolicy = ""
+	cc.SchedPinned = 0
 	fmt.Fprintf(h, "%+v", cc)
 	return h.Sum64()
 }
@@ -135,6 +161,8 @@ func newProxy(cfg Config, ds *Dataset) proxyModel {
 	switch cfg.Arch {
 	case "attention":
 		return NewAttention(ds.Vocab, ds.Dim, ds.Classes, cfg.Seed+1)
+	case "stack":
+		return NewLayerStack(ds.Vocab, ds.Dim, ds.Classes, cfg.Layers, cfg.Seed+1)
 	case "mlp":
 		return NewMLP(ds.Vocab, ds.Dim, cfg.Hidden, ds.Classes, cfg.Seed+1)
 	default:
@@ -211,6 +239,7 @@ type Trainer struct {
 	rng   *rand.Rand
 	ad    *optim.Adam
 	ctrl  *dba.Controller
+	sched *OffloadScheduler // nil unless an offload-scheduling knob is set
 
 	master     []float32 // CPU master copy (aliases the model's params)
 	compute    []float32 // accelerator copy (fwd/bwd uses this)
@@ -264,8 +293,8 @@ type PreState struct {
 func (c Config) preTag() uint64 {
 	c = c.withDefaults()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "seed=%d batch=%d lr=%g clip=%g hidden=%d presteps=%d arch=%s",
-		c.Seed, c.Batch, c.LR, c.ClipNorm, c.Hidden, c.PreSteps, c.Arch)
+	fmt.Fprintf(h, "seed=%d batch=%d lr=%g clip=%g hidden=%d presteps=%d arch=%s layers=%d",
+		c.Seed, c.Batch, c.LR, c.ClipNorm, c.Hidden, c.PreSteps, c.Arch, c.Layers)
 	return h.Sum64()
 }
 
@@ -333,6 +362,12 @@ func newTrainerShell(cfg Config) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sched *OffloadScheduler
+	if cfg.schedEnabled() {
+		if sched, err = newScheduler(m, cfg, ds.TokensPer); err != nil {
+			return nil, err
+		}
+	}
 	return &Trainer{
 		cfg:        cfg,
 		ds:         ds,
@@ -341,6 +376,7 @@ func newTrainerShell(cfg Config) (*Trainer, error) {
 		rng:        rand.New(src),
 		ad:         ad,
 		ctrl:       dba.NewController(cfg.ActAfterSteps, cfg.DirtyBytes),
+		sched:      sched,
 		master:     m.Parameters(),
 		compute:    make([]float32, n),
 		grads:      make([]float32, n),
@@ -371,6 +407,17 @@ func (t *Trainer) Moments() (m, v []float32) { return t.ad.Moments() }
 
 // Samples returns the loss-trajectory samples recorded so far.
 func (t *Trainer) Samples() []StepSample { return t.samples }
+
+// SchedStats returns the offload scheduler's residency/heat accounting and
+// whether a scheduler is active. Counters live outside Result and the
+// checkpoint format: they describe transfer scheduling, not the trained
+// model, so crash/restore equality is unaffected by them.
+func (t *Trainer) SchedStats() (SchedStats, bool) {
+	if t.sched == nil {
+		return SchedStats{}, false
+	}
+	return t.sched.Stats(), true
+}
 
 // recordSums refreshes every per-tensor checksum after legitimate
 // mutations. The four tensors are independent, so their CRC passes run
@@ -492,8 +539,17 @@ func (t *Trainer) Step() error {
 	if t.cfg.DBA {
 		active = t.ctrl.CheckActivation(s)
 	}
-	// Parameter transfer CPU->GPU.
-	if active {
+	// Parameter transfer CPU->GPU. Under the offload scheduler the step's
+	// layer traversal (forward + prefetch, backward + gradient stream-out)
+	// is replayed against the residency model and every segment routes
+	// through the staging buffers — bit-identical to the whole-vector
+	// transfer below, which remains the single-block fast path.
+	if t.sched != nil {
+		if err := t.sched.Step(t.compute, t.master, t.grads, active,
+			t.cfg.DirtyBytes, t.cfg.Workers, t.cfg.SchedPrefetch, len(batch)); err != nil {
+			return err
+		}
+	} else if active {
 		dba.MergeWords(t.compute, t.master, t.cfg.DirtyBytes, t.cfg.Workers)
 	} else {
 		copy(t.compute, t.master)

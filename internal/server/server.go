@@ -43,6 +43,7 @@ import (
 	"teco/internal/experiments"
 	"teco/internal/fabric"
 	"teco/internal/parallel"
+	"teco/internal/staging"
 )
 
 // payloadSchema versions the cached payload encoding (the JSON table
@@ -100,6 +101,11 @@ type Stats struct {
 	// Fabric is the process-wide switched-fabric telemetry: port flaps,
 	// failovers, frame retries, and degraded-mode training counters.
 	Fabric fabric.Snapshot `json:"fabric"`
+
+	// Layers is the process-wide per-layer offload telemetry: fast-tier
+	// hits, misses, prefetch overlap, and eviction churn from both
+	// scheduler halves (realtrain and core.StepLayered).
+	Layers staging.LayerCounters `json:"layers"`
 }
 
 // Server is one sweep-service instance. Create with New, expose via
@@ -201,6 +207,7 @@ func (s *Server) Stats() Stats {
 		Queued:    s.gate.Queued(),
 		Cache:     s.cache.Stats(),
 		Fabric:    fabric.Counters(),
+		Layers:    staging.Counters(),
 	}
 }
 
@@ -256,6 +263,13 @@ type Request struct {
 	HostPorts int `json:"host_ports,omitempty"`
 	KillPort  int `json:"kill_port,omitempty"`
 	KillStep  int `json:"kill_step,omitempty"`
+	// Per-layer offload knobs, mirroring tecosim's -layers/-cache-pct/
+	// -prefetch/-layer-policy/-layer-seq-len flags.
+	Layers        int    `json:"layers,omitempty"`
+	CachePct      int    `json:"cache_pct,omitempty"`
+	PrefetchDepth int    `json:"prefetch,omitempty"`
+	LayerPolicy   string `json:"layer_policy,omitempty"`
+	LayerSeqLen   int    `json:"layer_seq_len,omitempty"`
 	// TimeoutMs overrides the server's default per-request deadline,
 	// capped at Config.MaxTimeout.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -265,17 +279,22 @@ type Request struct {
 // (Workers, Ctx) are the server's own and never reach the fingerprint.
 func (s *Server) options(req Request) experiments.Options {
 	return experiments.Options{
-		Seed:         req.Seed,
-		BER:          req.BER,
-		RetryBudget:  req.RetryBudget,
-		Degrade:      req.Degrade,
-		CkptInterval: req.CkptInterval,
-		CrashAt:      req.CrashAt,
-		Replicas:     req.Replicas,
-		HostPorts:    req.HostPorts,
-		KillPort:     req.KillPort,
-		KillStep:     req.KillStep,
-		Workers:      s.cfg.Workers,
+		Seed:          req.Seed,
+		BER:           req.BER,
+		RetryBudget:   req.RetryBudget,
+		Degrade:       req.Degrade,
+		CkptInterval:  req.CkptInterval,
+		CrashAt:       req.CrashAt,
+		Replicas:      req.Replicas,
+		HostPorts:     req.HostPorts,
+		KillPort:      req.KillPort,
+		KillStep:      req.KillStep,
+		Layers:        req.Layers,
+		CachePct:      req.CachePct,
+		PrefetchDepth: req.PrefetchDepth,
+		LayerPolicy:   req.LayerPolicy,
+		LayerSeqLen:   req.LayerSeqLen,
+		Workers:       s.cfg.Workers,
 	}
 }
 
@@ -348,6 +367,7 @@ func parseRequest(r *http.Request) (Request, error) {
 	}
 	q := r.URL.Query()
 	req.ID = q.Get("id")
+	req.LayerPolicy = q.Get("layer_policy")
 	var err error
 	num := func(name string, dst *int64) {
 		if v := q.Get(name); v != "" && err == nil {
@@ -361,6 +381,8 @@ func parseRequest(r *http.Request) (Request, error) {
 		"retry_budget": &req.RetryBudget, "ckpt_interval": &req.CkptInterval, "crash_at": &req.CrashAt,
 		"replicas": &req.Replicas, "host_ports": &req.HostPorts,
 		"kill_port": &req.KillPort, "kill_step": &req.KillStep,
+		"layers": &req.Layers, "cache_pct": &req.CachePct,
+		"prefetch": &req.PrefetchDepth, "layer_seq_len": &req.LayerSeqLen,
 	} {
 		i64 = 0
 		num(name, &i64)
