@@ -20,6 +20,8 @@ check:
 	$(GO) test -fuzz='FuzzDecodeFramed$$' -fuzztime=10s ./internal/cxl
 	$(GO) test -fuzz='FuzzDecodeSnapshot$$' -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz='FuzzDecodeFrame$$' -fuzztime=10s ./internal/fabric
+	$(GO) test -race -count=1 -run 'TestKernelBitIdentity|TestArenaReuse' ./internal/kernels
+	$(GO) test -run xxx -bench 'TrainStep|MatmulBlocked|FusedAdamScan' -benchtime=1x ./internal/kernels ./internal/optim ./internal/realtrain
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
@@ -37,12 +39,13 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Micro-benchmarks for everything, then the parallel-subsystem report:
-# serial-vs-parallel hot paths and the memoized/pooled experiment-suite
-# wall clock, written to BENCH_parallel.json.
+# Micro-benchmarks for everything, then the parallel-subsystem report
+# (serial-vs-parallel hot paths and the memoized/pooled experiment-suite
+# wall clock, BENCH_parallel.json) plus the numeric-core train-step report
+# (blocked kernels + fused ADAM + arenas, before/after, BENCH_numeric.json).
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/benchpar -out BENCH_parallel.json
+	$(GO) run ./cmd/benchpar -out BENCH_parallel.json -numeric-out BENCH_numeric.json
 
 # Flow-coalescing report: the stream microbenchmark (per-line vs coalesced)
 # and the end-to-end suite seconds, written to BENCH_flow.json.

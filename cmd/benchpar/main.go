@@ -8,6 +8,11 @@
 //     shared-run memoization disabled, then on the worker pool with
 //     memoization on — the configuration `tecosim all` actually uses.
 //
+// It also writes BENCH_numeric.json: the real train-step microbenchmark
+// (internal/trainbench) per proxy architecture, serial and parallel, next
+// to the pinned pre-optimization numbers — the before/after record of the
+// blocked-kernel + fused-ADAM + tensor-arena work.
+//
 // Every measured configuration produces bit-identical tables (the
 // determinism harnesses assert this); only wall-clock differs.
 package main
@@ -27,6 +32,7 @@ import (
 	"teco/internal/experiments"
 	"teco/internal/optim"
 	"teco/internal/profileflags"
+	"teco/internal/trainbench"
 )
 
 const hotN = 1 << 20 // elements per hot-path benchmark tensor
@@ -61,6 +67,53 @@ type report struct {
 	Seed       int64        `json:"seed"`
 	HotPaths   []procRun    `json:"hot_path_runs"`
 	Suite      *suiteResult `json:"suite,omitempty"`
+}
+
+// numericBefore pins the pre-optimization train-step numbers (serial,
+// SDC guards on, this container's reference box) measured at the commit
+// before the blocked-kernel/fused-ADAM/arena work landed, so the numeric
+// report always shows the delta the tentpole bought.
+var numericBefore = map[string]trainbench.Result{
+	"mlp":       {NsPerOp: 15602978, AllocsPerOp: 18},
+	"attention": {NsPerOp: 18657811, AllocsPerOp: 3890},
+	"stack":     {NsPerOp: 26761458, AllocsPerOp: 9362},
+}
+
+type numericArch struct {
+	Arch string `json:"arch"`
+	// BeforeSerial is the pinned pre-optimization serial measurement.
+	BeforeSerial trainbench.Result `json:"before_serial"`
+	// Serial and Parallel are this machine's measurements (SDC guards on).
+	Serial   trainbench.Result `json:"serial"`
+	Parallel trainbench.Result `json:"parallel"`
+	// SpeedupVsBefore is BeforeSerial/Serial ns per op.
+	SpeedupVsBefore float64 `json:"speedup_vs_before"`
+}
+
+type numericReport struct {
+	NumCPU  int           `json:"num_cpu"`
+	Workers int           `json:"workers"`
+	Archs   []numericArch `json:"archs"`
+}
+
+func measureNumeric(workers, repeat int) numericReport {
+	rep := numericReport{NumCPU: runtime.NumCPU(), Workers: workers}
+	for _, arch := range []string{"mlp", "attention", "stack"} {
+		serCfg := trainbench.Config{Arch: arch, Workers: 1, SDC: true}
+		parCfg := trainbench.Config{Arch: arch, Workers: workers, SDC: true}
+		na := numericArch{
+			Arch:         arch,
+			BeforeSerial: numericBefore[arch],
+			Serial:       trainbench.Best(func() trainbench.Result { return trainbench.MeasureStep(serCfg) }, repeat),
+			Parallel:     trainbench.Best(func() trainbench.Result { return trainbench.MeasureStep(parCfg) }, repeat),
+		}
+		na.SpeedupVsBefore = float64(na.BeforeSerial.NsPerOp) / float64(na.Serial.NsPerOp)
+		fmt.Fprintf(os.Stderr, "  %-9s before %8.2fms  serial %8.2fms (%.2fx)  parallel %8.2fms  allocs %d\n",
+			arch, float64(na.BeforeSerial.NsPerOp)/1e6, float64(na.Serial.NsPerOp)/1e6,
+			na.SpeedupVsBefore, float64(na.Parallel.NsPerOp)/1e6, na.Serial.AllocsPerOp)
+		rep.Archs = append(rep.Archs, na)
+	}
+	return rep
 }
 
 func randWords(n int, seed int64) []float32 {
@@ -133,9 +186,12 @@ func runSuite(ids []string, opt experiments.Options) (time.Duration, error) {
 
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
+	numericOut := flag.String("numeric-out", "BENCH_numeric.json", "train-step report JSON path")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	workers := flag.Int("workers", 0, "worker count for the parallel measurements (0: NumCPU)")
 	skipSuite := flag.Bool("skip-suite", false, "only benchmark the hot paths (fast)")
+	skipNumeric := flag.Bool("skip-numeric", false, "skip the train-step numeric report")
+	repeat := flag.Int("repeat", 3, "best-of repetitions for the train-step measurements")
 	prof := profileflags.Register(nil)
 	flag.Parse()
 
@@ -195,14 +251,27 @@ func main() {
 		}
 	}
 
-	f, err := os.Create(*out)
+	writeJSON(*out, rep)
+
+	if !*skipNumeric {
+		fmt.Fprintf(os.Stderr, "benchmarking train step per architecture (best of %d)...\n", *repeat)
+		writeJSON(*numericOut, measureNumeric(*workers, *repeat))
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -210,9 +279,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

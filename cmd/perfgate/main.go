@@ -12,7 +12,12 @@
 //     microbenchmark, so the cache gate defaults to 100% headroom where
 //     the stream gate gets 25%, or
 //   - the prefetch-scheduled layered step (internal/layerbench, the
-//     BenchmarkLayerOverlap workload) regressed more than the threshold.
+//     BenchmarkLayerOverlap workload) regressed more than the threshold,
+//   - a real fine-tuning step (internal/trainbench: blocked kernels, fused
+//     clip+ADAM+scan pass, SDC guards on) regressed more than the threshold
+//     on any architecture, or
+//   - the steady-state fine-tuning step allocates (the tensor-arena
+//     tentpole's contract: after warmup, Trainer.Step is allocation-free).
 //
 // Measurements take the best of -repeat runs, so scheduler noise on a busy
 // CI box shows up as a slow outlier that is discarded, not a false failure.
@@ -30,7 +35,12 @@ import (
 	"teco/internal/diskcache"
 	"teco/internal/layerbench"
 	"teco/internal/streambench"
+	"teco/internal/trainbench"
 )
+
+// trainArchs are the proxy architectures the train-step gate covers, in
+// report order.
+var trainArchs = []string{"mlp", "attention", "stack"}
 
 type baseline struct {
 	// RunLines pins the workload shape the numbers were captured at.
@@ -47,6 +57,12 @@ type baseline struct {
 	// predates the layer gate; perfgate then measures and reports but does
 	// not fail (run -update to arm it).
 	LayerOverlapNsPerOp int64 `json:"layer_overlap_ns_per_op"`
+	// TrainStepNsPerOp maps proxy architecture -> ns per serial fine-tuning
+	// step with SDC guards on (internal/trainbench). Nil/empty means the
+	// baseline predates the train-step gate; perfgate then measures and
+	// reports but does not fail (run -update to arm it). The companion
+	// steady-state-alloc gate is absolute (0 allocs/op) and always armed.
+	TrainStepNsPerOp map[string]int64 `json:"train_step_ns_per_op,omitempty"`
 }
 
 func main() {
@@ -75,6 +91,20 @@ func main() {
 	fmt.Printf("layer-overlap step (GPT-2, cache %d%%, best of %d):\n", layerbench.CachePct, *repeat)
 	fmt.Printf("  scheduled %10d ns/op  %d allocs/op\n", overlap.NsPerOp, overlap.AllocsPerOp)
 
+	trainStep := make(map[string]int64, len(trainArchs))
+	trainAllocs := make(map[string]float64, len(trainArchs))
+	fmt.Printf("train step (serial, SDC guards on, best of %d):\n", *repeat)
+	for _, arch := range trainArchs {
+		cfg := trainbench.Config{Arch: arch, Workers: 1, SDC: true}
+		r := trainbench.Best(func() trainbench.Result { return trainbench.MeasureStep(cfg) }, *repeat)
+		trainStep[arch] = r.NsPerOp
+		// The alloc gate excludes the sampled-step bookkeeping (samples
+		// slice appends at the sampling cadence, by design).
+		cfg.SampleEvery = 1 << 29
+		trainAllocs[arch] = trainbench.StepAllocs(cfg, 10)
+		fmt.Printf("  %-9s %10d ns/op  %.1f allocs/op\n", arch, r.NsPerOp, trainAllocs[arch])
+	}
+
 	if *update {
 		b := baseline{
 			RunLines:            streambench.RunLines,
@@ -82,6 +112,7 @@ func main() {
 			CoalescedNsPerOp:    coalesced.NsPerOp,
 			WarmCacheP99Ns:      warmP99,
 			LayerOverlapNsPerOp: overlap.NsPerOp,
+			TrainStepNsPerOp:    trainStep,
 		}
 		buf, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -141,6 +172,18 @@ func main() {
 		check("layer-overlap", overlap.NsPerOp, base.LayerOverlapNsPerOp)
 	} else {
 		fmt.Println("  -- layer-overlap: no baseline recorded; measuring only (run -update to arm the gate)")
+	}
+	for _, arch := range trainArchs {
+		if want, ok := base.TrainStepNsPerOp[arch]; ok && want > 0 {
+			check("train-step/"+arch, trainStep[arch], want)
+		} else {
+			fmt.Printf("  -- train-step/%s: no baseline recorded; measuring only (run -update to arm the gate)\n", arch)
+		}
+		if trainAllocs[arch] != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL train-step/%s allocations: %.1f allocs/op in steady state (want 0)\n",
+				arch, trainAllocs[arch])
+			failed = true
+		}
 	}
 	if perLine.AllocsPerOp != 0 || coalesced.AllocsPerOp != 0 {
 		fmt.Fprintf(os.Stderr, "FAIL allocations: per-line %d, coalesced %d allocs/op (want 0)\n",

@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"math"
+
+	"teco/internal/cxl"
+	"teco/internal/parallel"
+)
+
+// Chunk-combinable tensor checksums.
+//
+// The CRC-16/CCITT-FALSE state update S' = (S<<8) ^ table[S>>8 ^ b] is
+// GF(2)-linear in (S, b): for fixed data D, the final state splits as
+//
+//	crc(init, D) = Z_|D|(init) ^ crc(0, D)
+//
+// where Z_n is the (data-independent) linear operator of running n zero
+// bytes through the CRC. So a tensor can be checksummed as independent
+// zero-initialized chunk CRCs — one per fixed-quantum parallel chunk,
+// computed in any order or fused into another pass over the same range —
+// and folded left to right with CombineChecksum into exactly the bits
+// Checksum produces serially. Z_n is evaluated as a 16×16 GF(2) matrix
+// power (square-and-multiply), so combining costs O(log n) 16-bit matrix
+// applications per chunk, independent of the chunk's size.
+
+// crcMat is a GF(2)-linear operator on the 16-bit CRC state; column i is
+// the image of basis vector 1<<i.
+type crcMat [16]uint16
+
+// apply returns m·v over GF(2).
+func (m *crcMat) apply(v uint16) uint16 {
+	var r uint16
+	for i := 0; v != 0; i++ {
+		if v&1 != 0 {
+			r ^= m[i]
+		}
+		v >>= 1
+	}
+	return r
+}
+
+// compose returns the operator m∘g (first g, then m).
+func (m *crcMat) compose(g *crcMat) crcMat {
+	var r crcMat
+	for i := range g {
+		r[i] = m.apply(g[i])
+	}
+	return r
+}
+
+// zeroByteMat is Z_1: the state map of one zero data byte,
+// S -> (S<<8) ^ table[S>>8] (cxl.UpdateCRC16 with b = 0).
+var zeroByteMat = func() (m crcMat) {
+	for i := range m {
+		m[i] = cxl.UpdateCRC16(1<<i, []byte{0})
+	}
+	return
+}()
+
+// zeroShift applies Z_n to s: the CRC state after n zero bytes follow a
+// prefix whose state is s.
+func zeroShift(s uint16, n int) uint16 {
+	m := zeroByteMat
+	for ; n > 0; n >>= 1 {
+		if n&1 != 0 {
+			s = m.apply(s)
+		}
+		m = m.compose(&m)
+	}
+	return s
+}
+
+// ChecksumChunk returns the zero-initialized CRC of v's raw FP32 bytes —
+// the per-chunk partial that CombineChecksum folds into a full Checksum.
+// Allocation-free.
+func ChecksumChunk(v []float32) uint16 {
+	var crc uint16
+	var buf [1024]byte
+	for len(v) > 0 {
+		n := len(buf) / 4
+		if n > len(v) {
+			n = len(v)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v[i]))
+		}
+		crc = cxl.UpdateCRC16(crc, buf[:4*n])
+		v = v[n:]
+	}
+	return crc
+}
+
+// CombineChecksum appends a chunk to a running tensor checksum: crc is the
+// CRC state over everything before the chunk, part the chunk's
+// ChecksumChunk, nbytes the chunk's byte length (4× its FP32 words). The
+// result is bit-identical to continuing the serial CRC through the chunk.
+func CombineChecksum(crc, part uint16, nbytes int) uint16 {
+	return zeroShift(crc, nbytes) ^ part
+}
+
+// ChecksumWorkers is Checksum with the chunk CRCs computed on `workers`
+// goroutines over the standard fixed-quantum partition and folded in chunk
+// order — bit-identical to Checksum at every worker count (hot-path worker
+// semantics: 0/1 serial, negative = GOMAXPROCS).
+func ChecksumWorkers(v []float32, workers int) uint16 {
+	n := len(v)
+	if parallel.Chunks(n) <= 1 || parallel.HotResolve(workers) <= 1 {
+		return Checksum(v)
+	}
+	parts := parallel.MapChunks(workers, n, func(lo, hi int) uint16 {
+		return ChecksumChunk(v[lo:hi])
+	})
+	crc := uint16(0xFFFF)
+	for c, part := range parts {
+		lo, hi := parallel.ChunkBounds(c, n)
+		crc = CombineChecksum(crc, part, 4*(hi-lo))
+	}
+	return crc
+}

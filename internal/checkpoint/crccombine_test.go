@@ -1,0 +1,84 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+
+	"teco/internal/cxl"
+	"teco/internal/parallel"
+)
+
+// TestCombineChecksumMatchesSerial: splitting a tensor at arbitrary points
+// and folding zero-init chunk CRCs reproduces the serial Checksum exactly.
+func TestCombineChecksumMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 255, 256, 257, 1000, 16384, 16385, 100_000} {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		want := Checksum(v)
+		for _, cuts := range [][]float64{{0.5}, {0.1, 0.2, 0.9}, {0.33, 0.34}} {
+			crc := uint16(0xFFFF)
+			lo := 0
+			bounds := make([]int, 0, len(cuts)+1)
+			for _, f := range cuts {
+				bounds = append(bounds, int(f*float64(n)))
+			}
+			bounds = append(bounds, n)
+			for _, hi := range bounds {
+				if hi < lo {
+					hi = lo
+				}
+				crc = CombineChecksum(crc, ChecksumChunk(v[lo:hi]), 4*(hi-lo))
+				lo = hi
+			}
+			if crc != want {
+				t.Fatalf("n=%d cuts=%v: combined %04x want %04x", n, cuts, crc, want)
+			}
+		}
+	}
+}
+
+// TestZeroShiftMatchesUpdate: Z_n(s) equals literally running n zero bytes
+// through the CRC, across state values and lengths including 0.
+func TestZeroShiftMatchesUpdate(t *testing.T) {
+	zeros := make([]byte, 5000)
+	for _, s := range []uint16{0, 1, 0xFFFF, 0x1021, 0xBEEF} {
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1023, 5000} {
+			want := cxl.UpdateCRC16(s, zeros[:n])
+			if got := zeroShift(s, n); got != want {
+				t.Fatalf("zeroShift(%04x, %d) = %04x want %04x", s, n, got, want)
+			}
+		}
+	}
+}
+
+// TestChecksumWorkersInvariance: the parallel checksum is bit-identical to
+// the serial one at every worker count.
+func TestChecksumWorkersInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := make([]float32, 3*16384+123) // several chunks plus a remainder
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	want := Checksum(v)
+	for _, w := range []int{0, 1, 2, 3, 8, -1} {
+		if got := ChecksumWorkers(v, w); got != want {
+			t.Fatalf("workers=%d: %04x want %04x", w, got, want)
+		}
+	}
+}
+
+// TestChecksumChunkZeroAlloc pins the per-chunk CRC allocation-free — it
+// runs inside the fused ADAM epilogue's steady-state loop.
+func TestChecksumChunkZeroAlloc(t *testing.T) {
+	v := make([]float32, 16384)
+	lo, hi := parallel.ChunkBounds(0, len(v))
+	if n := testing.AllocsPerRun(20, func() {
+		_ = ChecksumChunk(v[lo:hi])
+		_ = CombineChecksum(0xFFFF, 0x1234, 4*(hi-lo))
+	}); n != 0 {
+		t.Fatalf("allocated %v times per run, want 0", n)
+	}
+}

@@ -34,10 +34,39 @@ func CRC16(p []byte) uint16 {
 	return UpdateCRC16(0xFFFF, p)
 }
 
+// crcSlice extends crcTable to slicing-by-4: crcSlice[k][b] is the CRC
+// (zero initial state) of byte b followed by k zero bytes. CRC is linear
+// over GF(2), so four input bytes fold in one step: the 16-bit state XORs
+// into the first two bytes and each byte's contribution — advanced past
+// the bytes after it — combines by XOR. Same function, same bits as the
+// byte-at-a-time loop; it only reads four table lanes per four bytes
+// instead of chaining four dependent lookups.
+var crcSlice = func() (t [4][256]uint16) {
+	for b := 0; b < 256; b++ {
+		c := crcTable[b]
+		t[0][b] = c
+		for k := 1; k < 4; k++ {
+			c = c<<8 ^ crcTable[byte(c>>8)]
+			t[k][b] = c
+		}
+	}
+	return
+}()
+
 // UpdateCRC16 continues a CRC-16/CCITT-FALSE computation over p from a
 // previous state (start from 0xFFFF), so large tensors can be checksummed
-// in chunks without concatenating their bytes.
+// in chunks without concatenating their bytes. The SDC guards CRC several
+// parameter-sized tensors per training step, so the loop is sliced: four
+// bytes per iteration with independent table lookups (the tail falls back
+// to byte-at-a-time), bit-identical to the serial definition.
 func UpdateCRC16(crc uint16, p []byte) uint16 {
+	for len(p) >= 4 {
+		crc = crcSlice[3][p[0]^byte(crc>>8)] ^
+			crcSlice[2][p[1]^byte(crc)] ^
+			crcSlice[1][p[2]] ^
+			crcSlice[0][p[3]]
+		p = p[4:]
+	}
 	for _, b := range p {
 		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
 	}

@@ -1,0 +1,46 @@
+package cxl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// crc16Serial is the byte-at-a-time reference definition the sliced
+// UpdateCRC16 must match bit-for-bit.
+func crc16Serial(crc uint16, p []byte) uint16 {
+	for _, b := range p {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// TestCRC16CheckValue pins the CRC-16/CCITT-FALSE check value: every
+// implementation of this CRC computes 0x29B1 over "123456789".
+func TestCRC16CheckValue(t *testing.T) {
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16(123456789) = %#04x, want 0x29b1", got)
+	}
+}
+
+// TestUpdateCRC16MatchesSerial drives the sliced implementation against
+// the byte-at-a-time reference over every length class (covering the
+// 4-byte block remainders), random data and random starting states, and
+// arbitrary chunked continuations.
+func TestUpdateCRC16MatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 64, 65, 255, 1024, 4097} {
+		p := make([]byte, n)
+		for trial := 0; trial < 8; trial++ {
+			rng.Read(p)
+			crc := uint16(rng.Uint32())
+			if got, want := UpdateCRC16(crc, p), crc16Serial(crc, p); got != want {
+				t.Fatalf("len %d state %#04x: sliced %#04x != serial %#04x", n, crc, got, want)
+			}
+			// Chunked continuation at a random split point.
+			cut := rng.Intn(n + 1)
+			if got := UpdateCRC16(UpdateCRC16(crc, p[:cut]), p[cut:]); got != crc16Serial(crc, p) {
+				t.Fatalf("len %d split %d: chunked continuation diverges", n, cut)
+			}
+		}
+	}
+}

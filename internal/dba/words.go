@@ -38,19 +38,25 @@ func MergeWords(compute, master []float32, n, workers int) {
 	}
 	if n == WordSize {
 		// Full words: plain copy (per chunk, still element-wise).
-		parallel.ForChunks(workers, len(compute), func(lo, hi int) {
-			copy(compute[lo:hi], master[lo:hi])
-		})
+		if parallel.HotResolve(workers) <= 1 {
+			copy(compute, master)
+		} else {
+			parallel.ForChunks(workers, len(compute), func(lo, hi int) {
+				copy(compute[lo:hi], master[lo:hi])
+			})
+		}
 		return
 	}
 	mask := wordMask(n)
-	parallel.ForChunks(workers, len(compute), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			cb := math.Float32bits(compute[i])
-			mb := math.Float32bits(master[i])
-			compute[i] = math.Float32frombits((cb &^ mask) | (mb & mask))
-		}
-	})
+	// The serial path (every step of a Workers<=1 trainer) runs the merge
+	// loop directly — no closure, no allocation.
+	if parallel.HotResolve(workers) <= 1 {
+		mergeRange(compute, master, mask, 0, len(compute))
+	} else {
+		parallel.ForChunks(workers, len(compute), func(lo, hi int) {
+			mergeRange(compute, master, mask, lo, hi)
+		})
+	}
 	if check.Enabled() {
 		check.Check(func() error {
 			// Merge post-condition doubles as the idempotence law: a word
@@ -63,15 +69,34 @@ func MergeWords(compute, master []float32, n, workers int) {
 	}
 }
 
+// mergeRange is the merge loop over [lo, hi) — the chunk body the serial
+// and parallel paths of MergeWords share.
+func mergeRange(compute, master []float32, mask uint32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		cb := math.Float32bits(compute[i])
+		mb := math.Float32bits(master[i])
+		compute[i] = math.Float32frombits((cb &^ mask) | (mb & mask))
+	}
+}
+
 // FirstMergeMismatch checks the Disaggregator post-condition — every word
 // of the merged compute copy carries the master's low n bytes — and
 // returns the first (lowest) offending index, or -1. The SDC guard in the
-// trainer turns a hit into a rollback.
+// trainer turns a hit into a rollback. Like the merge itself, the serial
+// path is a plain allocation-free loop.
 func FirstMergeMismatch(compute, master []float32, n, workers int) int {
 	if len(compute) != len(master) {
 		panic(fmt.Sprintf("dba: verify %d words against %d", len(master), len(compute)))
 	}
 	mask := wordMask(n)
+	if parallel.HotResolve(workers) <= 1 {
+		for i := range compute {
+			if (math.Float32bits(compute[i])^math.Float32bits(master[i]))&mask != 0 {
+				return i
+			}
+		}
+		return -1
+	}
 	return parallel.FirstIndex(workers, len(compute), func(i int) bool {
 		return (math.Float32bits(compute[i])^math.Float32bits(master[i]))&mask != 0
 	})

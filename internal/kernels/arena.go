@@ -1,0 +1,102 @@
+// Tensor arenas: reusable bump allocators for the per-example scratch
+// tensors of the training hot loops. A model owns one Arena, Resets it at
+// the top of each example, and carves every forward/backward intermediate
+// out of it — after the first example (which sizes the slabs) steady-state
+// training allocates nothing.
+
+package kernels
+
+// Arena is a bump allocator over reusable float32 slabs plus a matching
+// row-header slab for [][]float32 matrix views. Alloc/Rows hand out zeroed
+// storage; Reset rewinds both slabs without freeing, so capacity is reused
+// across examples. Previously returned slices remain valid until the next
+// Reset (growth appends new slabs, it never moves live ones). An Arena is
+// not safe for concurrent use — like the model scratch buffers it backs,
+// each trainer owns its own instance.
+type Arena struct {
+	slabs   [][]float32
+	slab    int // index of the slab currently being carved
+	off     int // carve offset within slabs[slab]
+	headers [][][]float32
+	hslab   int
+	hoff    int
+}
+
+// arenaSlabWords is the minimum float32 slab size; allocations larger than
+// this get a dedicated slab of exactly their size.
+const arenaSlabWords = 1 << 14
+
+// arenaHeaderRows is the minimum row-header slab length.
+const arenaHeaderRows = 256
+
+// Reset rewinds the arena: every slab stays allocated, every previously
+// returned slice becomes dead (its storage will be reissued, zeroed).
+func (a *Arena) Reset() {
+	a.slab, a.off = 0, 0
+	a.hslab, a.hoff = 0, 0
+}
+
+// Alloc returns a zeroed []float32 of length n carved from the arena.
+func (a *Arena) Alloc(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	for a.slab < len(a.slabs) && a.off+n > len(a.slabs[a.slab]) {
+		a.slab++
+		a.off = 0
+	}
+	if a.slab == len(a.slabs) {
+		size := n
+		if size < arenaSlabWords {
+			size = arenaSlabWords
+		}
+		a.slabs = append(a.slabs, make([]float32, size))
+		a.off = 0
+	}
+	s := a.slabs[a.slab][a.off : a.off+n : a.off+n]
+	a.off += n
+	clear(s)
+	return s
+}
+
+// allocHeaders carves a [][]float32 of length t from the header slab; rows
+// are overwritten by the caller, so headers are not cleared.
+func (a *Arena) allocHeaders(t int) [][]float32 {
+	for a.hslab < len(a.headers) && a.hoff+t > len(a.headers[a.hslab]) {
+		a.hslab++
+		a.hoff = 0
+	}
+	if a.hslab == len(a.headers) {
+		size := t
+		if size < arenaHeaderRows {
+			size = arenaHeaderRows
+		}
+		a.headers = append(a.headers, make([][]float32, size))
+		a.hoff = 0
+	}
+	h := a.headers[a.hslab][a.hoff : a.hoff+t : a.hoff+t]
+	a.hoff += t
+	return h
+}
+
+// Rows returns a zeroed t×d matrix as row views over one contiguous
+// allocation — the arena-backed replacement for the per-call
+// make([][]float32) + per-row make([]float32) pattern. Row i is
+// data[i*d : (i+1)*d] with capacity clamped, so out-of-range writes fail
+// loudly instead of corrupting the neighbouring row.
+func (a *Arena) Rows(t, d int) [][]float32 {
+	_, rows := a.RowsFlat(t, d)
+	return rows
+}
+
+// RowsFlat is Rows plus the flat t·d backing slice, for callers that feed
+// the same matrix both to row-at-a-time loops and to the flat row-major
+// kernels (DotRowsInto, AddMatVec). rows[i] aliases flat[i*d:(i+1)*d].
+func (a *Arena) RowsFlat(t, d int) ([]float32, [][]float32) {
+	rows := a.allocHeaders(t)
+	data := a.Alloc(t * d)
+	for i := range rows {
+		rows[i] = data[i*d : (i+1)*d : (i+1)*d]
+	}
+	return data, rows
+}

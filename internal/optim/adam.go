@@ -85,6 +85,30 @@ func (a *Adam) StateBytes() int64 { return int64(len(a.m)) * 8 }
 // signature of restoring a corrupted snapshot) is returned as an error
 // before any state is touched.
 func (a *Adam) Step(params, grads []float32) error {
+	return a.StepFused(params, grads, 1, nil)
+}
+
+// StepFused is Step with the per-step tensor walks that surround the
+// optimizer in a training loop folded into the same chunked pass, so the
+// parameter, gradient and moment vectors are each traversed once per step
+// instead of once per concern:
+//
+//   - scale != 1 first multiplies the chunk's gradients in place (the
+//     global-norm clip's deferred scaling — the caller computes the norm,
+//     the fused pass applies it), exactly as ClipGlobalNorm would have
+//     before the update.
+//   - epilogue, if non-nil, runs once per fixed-quantum chunk after that
+//     chunk's elements are updated, with (c, lo, hi) as defined by
+//     parallel.ChunkBounds. The trainer hangs its post-step scans there:
+//     NaN/Inf guard, per-chunk tensor CRCs, dirty-byte distributions and
+//     the previous-value copies. The epilogue may read params, grads and
+//     the moment vectors within [lo, hi) only; chunks run concurrently, so
+//     cross-chunk state must be per-chunk slots combined by the caller
+//     afterwards (in ascending c for order-dependent folds like CRCs).
+//
+// Everything stays element-wise or chunk-local, so results are bit-identical
+// to the unfused Step + separate passes at every worker count.
+func (a *Adam) StepFused(params, grads []float32, scale float32, epilogue func(c, lo, hi int)) error {
 	if len(params) != len(a.m) || len(grads) != len(a.m) {
 		return fmt.Errorf("optim: step over %d/%d values, optimizer has %d", len(params), len(grads), len(a.m))
 	}
@@ -94,28 +118,59 @@ func (a *Adam) Step(params, grads []float32) error {
 	// Bias corrections.
 	c1 := 1 - math.Pow(b1, float64(a.step))
 	c2 := 1 - math.Pow(b2, float64(a.step))
-	lr := a.cfg.LR
-	eps := a.cfg.Eps
-	wd := a.cfg.WeightDecay
 	// The update is element-wise (no cross-element arithmetic), so chunked
-	// goroutines over disjoint ranges produce the exact serial bits.
-	parallel.ForChunks(a.cfg.Workers, len(params), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			g := float64(grads[i])
-			if wd != 0 {
-				// Decoupled (AdamW-style) weight decay.
-				params[i] -= float32(lr * wd * float64(params[i]))
+	// goroutines over disjoint ranges produce the exact serial bits. The
+	// serial path iterates the same chunk boundaries inline without
+	// creating a closure — Step sits inside the trainer's zero-alloc
+	// steady state.
+	n := len(params)
+	if nc := parallel.Chunks(n); parallel.HotResolve(a.cfg.Workers) <= 1 || nc <= 1 {
+		for c := 0; c < nc; c++ {
+			lo, hi := parallel.ChunkBounds(c, n)
+			a.updateChunk(params, grads, scale, c1, c2, lo, hi)
+			if epilogue != nil {
+				epilogue(c, lo, hi)
 			}
-			m := b1*float64(a.m[i]) + (1-b1)*g
-			v := b2*float64(a.v[i]) + (1-b2)*g*g
-			a.m[i] = float32(m)
-			a.v[i] = float32(v)
-			mhat := m / c1
-			vhat := v / c2
-			params[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
+		}
+		return nil
+	}
+	parallel.ForChunksIndexed(a.cfg.Workers, n, func(c, lo, hi int) {
+		a.updateChunk(params, grads, scale, c1, c2, lo, hi)
+		if epilogue != nil {
+			epilogue(c, lo, hi)
 		}
 	})
 	return nil
+}
+
+// updateChunk applies the deferred clip scale and the ADAM update to
+// [lo, hi) — the chunk body both the serial and parallel paths of
+// StepFused share.
+func (a *Adam) updateChunk(params, grads []float32, scale float32, c1, c2 float64, lo, hi int) {
+	b1 := a.cfg.Beta1
+	b2 := a.cfg.Beta2
+	lr := a.cfg.LR
+	eps := a.cfg.Eps
+	wd := a.cfg.WeightDecay
+	if scale != 1 {
+		for i := lo; i < hi; i++ {
+			grads[i] *= scale
+		}
+	}
+	for i := lo; i < hi; i++ {
+		g := float64(grads[i])
+		if wd != 0 {
+			// Decoupled (AdamW-style) weight decay.
+			params[i] -= float32(lr * wd * float64(params[i]))
+		}
+		m := b1*float64(a.m[i]) + (1-b1)*g
+		v := b2*float64(a.v[i]) + (1-b2)*g*g
+		a.m[i] = float32(m)
+		a.v[i] = float32(v)
+		mhat := m / c1
+		vhat := v / c2
+		params[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
+	}
 }
 
 // Moments returns the live first/second moment vectors. Callers snapshot
@@ -167,13 +222,25 @@ func GlobalNorm(grads []float32) float64 {
 // (paper Fig 1 phase 4: "the gradients are clipped to be bounded within a
 // certain range on CPU"). It returns the pre-clip norm.
 func ClipGlobalNorm(grads []float32, maxNorm float64) float64 {
-	norm := GlobalNorm(grads)
-	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
-		return norm
-	}
-	scale := float32(maxNorm / norm)
-	for i := range grads {
-		grads[i] *= scale
+	norm, scale := ClipScale(grads, maxNorm)
+	if scale != 1 {
+		for i := range grads {
+			grads[i] *= scale
+		}
 	}
 	return norm
+}
+
+// ClipScale is the deferred form of ClipGlobalNorm: it computes the global
+// norm (the one cross-element reduction, which must complete before any
+// element is scaled) and returns the clip factor to apply — 1 when no
+// clipping is needed — without touching grads. StepFused applies the factor
+// chunk-by-chunk inside the fused pass; the element-wise multiply commutes
+// with chunking, so the result is bit-identical to ClipGlobalNorm + Step.
+func ClipScale(grads []float32, maxNorm float64) (norm float64, scale float32) {
+	norm = GlobalNorm(grads)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm, 1
+	}
+	return norm, float32(maxNorm / norm)
 }

@@ -265,20 +265,49 @@ func chunkBounds(c, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// ChunkBounds returns chunk c's half-open element range over [0, n). It is
+// the exported form of the fixed-quantum partition: callers that combine
+// per-chunk results (CRC chaining, distribution merges) index their scratch
+// by c and reduce in ascending c, which depends only on n — never on the
+// worker count.
+func ChunkBounds(c, n int) (lo, hi int) { return chunkBounds(c, n) }
+
 // ForChunks runs fn over fixed-quantum chunks of [0, n) on at most
 // `workers` goroutines and returns when all chunks are done. fn must only
 // touch elements in [lo, hi) — chunks are disjoint, so element-wise loops
 // need no locking and produce bit-identical results at any worker count.
-// workers <= 1 (or a single chunk) runs inline.
+// workers <= 1 (or a single chunk) runs inline; the serial path is
+// allocation-free (no wrapper closure), since it sits inside the trainer's
+// zero-alloc steady-state step.
 func ForChunks(workers, n int, fn func(lo, hi int)) {
+	nc := Chunks(n)
+	if w := HotResolve(workers); w <= 1 || nc <= 1 {
+		for c := 0; c < nc; c++ {
+			lo, hi := chunkBounds(c, n)
+			fn(lo, hi)
+		}
+		return
+	}
+	ForChunksIndexed(workers, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForChunksIndexed is ForChunks with the chunk index passed through: fn
+// receives (c, lo, hi) where [lo, hi) = ChunkBounds(c, n). The index is
+// what lets an epilogue write per-chunk partials (CRCs, scan hits, byte
+// distributions) into preallocated slots and combine them later in chunk
+// order without allocating — the fused ADAM pass is the canonical caller.
+// The serial fast path still runs the whole range as chunk-granular calls,
+// so per-chunk partial layouts are identical at every worker count.
+func ForChunksIndexed(workers, n int, fn func(c, lo, hi int)) {
 	nc := Chunks(n)
 	workers = HotResolve(workers)
 	if workers > nc {
 		workers = nc
 	}
 	if workers <= 1 {
-		if n > 0 {
-			fn(0, n)
+		for c := 0; c < nc; c++ {
+			lo, hi := chunkBounds(c, n)
+			fn(c, lo, hi)
 		}
 		return
 	}
@@ -294,7 +323,7 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 					return
 				}
 				lo, hi := chunkBounds(c, n)
-				fn(lo, hi)
+				fn(c, lo, hi)
 			}
 		}()
 	}

@@ -3,6 +3,8 @@ package realtrain
 import (
 	"math"
 	"math/rand"
+
+	"teco/internal/kernels"
 )
 
 // Attention is a single-head self-attention classifier — the
@@ -15,9 +17,34 @@ import (
 //
 // The whole model is one flat FP32 vector for the DBA machinery, and the
 // backward pass is hand-derived (validated against finite differences).
+// All dense products route through the internal/kernels blocked primitives,
+// whose fixed accumulation order keeps the results bit-identical to the
+// original naive loops (see the kernels package doc).
 type Attention struct {
 	Vocab, Dim, Classes int
 	Params              []float32
+
+	// sc holds the model's scratch arena and activation state, so the
+	// per-example hot loops run allocation-free in steady state. Because
+	// of it an Attention is not safe for concurrent use — each trainer
+	// owns its own instance. Slices returned by Forward (probs) alias the
+	// arena and are valid until the next call on this instance.
+	sc *attnScratch
+}
+
+// attnScratch is the per-instance reusable storage: a bump arena that is
+// Reset at the top of every forward pass, plus the activation state whose
+// slices are re-carved from the arena each example.
+type attnScratch struct {
+	arena kernels.Arena
+	st    attnState
+}
+
+func (m *Attention) scratch() *attnScratch {
+	if m.sc == nil {
+		m.sc = &attnScratch{}
+	}
+	return m.sc
 }
 
 // NewAttention builds the model with scaled random initialization.
@@ -65,85 +92,72 @@ func (m *Attention) views(p []float32) (emb, wq, wk, wv, wo, bo []float32) {
 	return
 }
 
-// attnState keeps forward activations for backward.
+// attnState keeps forward activations for backward. Row matrices are arena
+// views; kF/vF are the flat row-major backings of k and v for the row-dot
+// kernels.
 type attnState struct {
 	x       [][]float32 // T x D token embeddings
 	q, k, v [][]float32 // T x D projections
+	kF, vF  []float32   // flat backings of k, v
 	attn    [][]float32 // T x T softmax rows
 	h       [][]float32 // T x D attention output
 	pooled  []float32   // D mean-pooled
 	probs   []float32
 }
 
-func matRows(t, d int) [][]float32 {
-	m := make([][]float32, t)
-	for i := range m {
-		m[i] = make([]float32, d)
-	}
-	return m
-}
-
-// forward runs the model on one token sequence.
+// forward runs the model on one token sequence. It Resets the arena, so
+// activations (and any backward temps carved after it) live exactly until
+// the next forward on this instance.
 func (m *Attention) forward(params []float32, tok []int) *attnState {
 	emb, wq, wk, wv, wo, bo := m.views(params)
 	d := m.Dim
 	T := len(tok)
-	st := &attnState{
-		x: matRows(T, d), q: matRows(T, d), k: matRows(T, d), v: matRows(T, d),
-		attn: matRows(T, T), h: matRows(T, d), pooled: make([]float32, d),
-	}
+	sc := m.scratch()
+	sc.arena.Reset()
+	st := &sc.st
+	_, st.x = sc.arena.RowsFlat(T, d)
+	_, st.q = sc.arena.RowsFlat(T, d)
+	st.kF, st.k = sc.arena.RowsFlat(T, d)
+	st.vF, st.v = sc.arena.RowsFlat(T, d)
+	_, st.attn = sc.arena.RowsFlat(T, T)
+	_, st.h = sc.arena.RowsFlat(T, d)
+	st.pooled = sc.arena.Alloc(d)
 	for t, id := range tok {
 		copy(st.x[t], emb[id*d:(id+1)*d])
 	}
-	proj := func(dst [][]float32, w []float32) {
-		for t := 0; t < T; t++ {
-			for j := 0; j < d; j++ {
-				var s float32
-				for i := 0; i < d; i++ {
-					s += st.x[t][i] * w[i*d+j]
-				}
-				dst[t][j] = s
-			}
-		}
+	// Q/K/V projections: one blocked matvec per token row (rows zeroed by
+	// the arena, so AddMatVec's accumulate is an assign).
+	for t := 0; t < T; t++ {
+		kernels.AddMatVec(st.q[t], st.x[t], wq, d, d)
+		kernels.AddMatVec(st.k[t], st.x[t], wk, d, d)
+		kernels.AddMatVec(st.v[t], st.x[t], wv, d, d)
 	}
-	proj(st.q, wq)
-	proj(st.k, wk)
-	proj(st.v, wv)
 	scale := float32(1 / math.Sqrt(float64(d)))
 	for t := 0; t < T; t++ {
 		row := st.attn[t]
+		// row[u] = q[t]·k[u], each a single ascending-i chain.
+		kernels.DotRowsInto(row, st.q[t], st.kF, T, d)
 		for u := 0; u < T; u++ {
-			var s float32
-			for i := 0; i < d; i++ {
-				s += st.q[t][i] * st.k[u][i]
-			}
-			row[u] = s * scale
+			row[u] *= scale
 		}
-		copy(row, softmax(row))
+		softmaxInto(row, row)
 	}
 	for t := 0; t < T; t++ {
+		// h[t] = attn[t]·V, additions over ascending u per output.
+		kernels.AddMatVec(st.h[t], st.attn[t], st.vF, T, d)
 		for j := 0; j < d; j++ {
-			var s float32
-			for u := 0; u < T; u++ {
-				s += st.attn[t][u] * st.v[u][j]
-			}
-			st.h[t][j] = s
-			st.pooled[j] += s / float32(T)
+			st.pooled[j] += st.h[t][j] / float32(T)
 		}
 	}
-	logits := make([]float32, m.Classes)
-	for c := 0; c < m.Classes; c++ {
-		s := bo[c]
-		for j := 0; j < d; j++ {
-			s += st.pooled[j] * wo[j*m.Classes+c]
-		}
-		logits[c] = s
-	}
-	st.probs = softmax(logits)
+	logits := sc.arena.Alloc(m.Classes)
+	kernels.MatVecInto(logits, bo, st.pooled, wo, d, m.Classes)
+	st.probs = softmaxInto(sc.arena.Alloc(m.Classes), logits)
 	return st
 }
 
-// Forward returns class probabilities for one example.
+// Forward returns class probabilities for one example. The returned slice
+// aliases the model's scratch arena and is valid until the next call on
+// this instance.
 func (m *Attention) Forward(params []float32, tok []int) []float32 {
 	return m.forward(params, tok).probs
 }
@@ -166,79 +180,70 @@ func (m *Attention) LossAndGrad(params []float32, ds *Dataset, batch []int, grad
 		y := ds.TrainY[idx]
 		T := len(tok)
 		st := m.forward(params, tok)
+		sc := m.sc
 		p := float64(st.probs[y])
 		if p < 1e-12 {
 			p = 1e-12
 		}
 		loss += -math.Log(p)
 
-		// Classifier backward.
-		dPooled := make([]float32, d)
+		// Classifier backward: dz first, then the fused rank-1 + row-dot
+		// kernel over Wout (dPooled[j] is a single ascending-c chain,
+		// exactly the order of the old c-outer loop).
+		dz := sc.arena.Alloc(m.Classes)
 		for c := 0; c < m.Classes; c++ {
-			dz := st.probs[c] * inv
+			dzc := st.probs[c] * inv
 			if c == y {
-				dz -= inv
+				dzc -= inv
 			}
-			gbo[c] += dz
-			for j := 0; j < d; j++ {
-				gwo[j*m.Classes+c] += st.pooled[j] * dz
-				dPooled[j] += wo[j*m.Classes+c] * dz
-			}
+			dz[c] = dzc
+			gbo[c] += dzc
 		}
+		dPooled := sc.arena.Alloc(d)
+		kernels.BackProjSet(gwo, dPooled, st.pooled, dz, wo, d, m.Classes)
 		// Mean pool backward: dH[t] = dPooled / T.
-		dH := matRows(T, d)
+		dH := sc.arena.Rows(T, d)
 		for t := 0; t < T; t++ {
 			for j := 0; j < d; j++ {
 				dH[t][j] = dPooled[j] / float32(T)
 			}
 		}
-		// H = A V.
-		dA := matRows(T, T)
-		dV := matRows(T, d)
+		// H = A V: dA[t][u] = dH[t]·v[u] (ascending-j chain),
+		// dV[u] += attn[t][u]·dH[t] accumulated over ascending t.
+		dA := sc.arena.Rows(T, T)
+		dV := sc.arena.Rows(T, d)
 		for t := 0; t < T; t++ {
+			kernels.DotRowsInto(dA[t], dH[t], st.vF, T, d)
 			for u := 0; u < T; u++ {
-				var s float32
-				for j := 0; j < d; j++ {
-					s += dH[t][j] * st.v[u][j]
-					dV[u][j] += st.attn[t][u] * dH[t][j]
-				}
-				dA[t][u] = s
+				kernels.Axpy(dV[u], st.attn[t][u], dH[t])
 			}
 		}
 		// Softmax backward per row -> dScores, then Q/K.
-		dQ := matRows(T, d)
-		dK := matRows(T, d)
+		dQ := sc.arena.Rows(T, d)
+		dK := sc.arena.Rows(T, d)
 		for t := 0; t < T; t++ {
 			var dot float32
 			for u := 0; u < T; u++ {
 				dot += dA[t][u] * st.attn[t][u]
 			}
 			for u := 0; u < T; u++ {
-				ds := st.attn[t][u] * (dA[t][u] - dot) * scale
-				for i := 0; i < d; i++ {
-					dQ[t][i] += ds * st.k[u][i]
-					dK[u][i] += ds * st.q[t][i]
-				}
+				dsc := st.attn[t][u] * (dA[t][u] - dot) * scale
+				kernels.Axpy(dQ[t], dsc, st.k[u])
+				kernels.Axpy(dK[u], dsc, st.q[t])
 			}
 		}
-		// Projections: P = X W  =>  dW += X^T dP, dX += dP W^T.
-		dX := matRows(T, d)
-		backProj := func(dP [][]float32, w, gw []float32) {
+		// Projections: P = X W  =>  dW += X^T dP, dX += dP W^T, fused per
+		// token row by the backward kernel.
+		dX := sc.arena.Rows(T, d)
+		for _, bp := range [3]struct {
+			dP [][]float32
+			w  []float32
+			gw []float32
+		}{{dQ, wq, gwq}, {dK, wk, gwk}, {dV, wv, gwv}} {
 			for t := 0; t < T; t++ {
-				for i := 0; i < d; i++ {
-					xti := st.x[t][i]
-					var acc float32
-					for j := 0; j < d; j++ {
-						gw[i*d+j] += xti * dP[t][j]
-						acc += dP[t][j] * w[i*d+j]
-					}
-					dX[t][i] += acc
-				}
+				kernels.BackProjAdd(bp.gw, dX[t], st.x[t], bp.dP[t], bp.w, d, d)
 			}
 		}
-		backProj(dQ, wq, gwq)
-		backProj(dK, wk, gwk)
-		backProj(dV, wv, gwv)
 		// Embedding rows.
 		for t, id := range tok {
 			base := id * d

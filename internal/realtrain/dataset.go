@@ -134,9 +134,16 @@ func NewDataset(cfg DatasetConfig) *Dataset {
 
 // Batch samples a minibatch of indices from the training set.
 func (d *Dataset) Batch(rng *rand.Rand, size int) []int {
-	idx := make([]int, size)
-	for i := range idx {
-		idx[i] = rng.Intn(len(d.TrainTok))
+	return d.BatchInto(rng, nil, size)
+}
+
+// BatchInto is Batch appending into buf's spare capacity — the
+// allocation-free form for the per-step training loop. The RNG draw
+// sequence is identical to Batch's.
+func (d *Dataset) BatchInto(rng *rand.Rand, buf []int, size int) []int {
+	buf = buf[:0]
+	for i := 0; i < size; i++ {
+		buf = append(buf, rng.Intn(len(d.TrainTok)))
 	}
-	return idx
+	return buf
 }

@@ -3,6 +3,8 @@ package realtrain
 import (
 	"math"
 	"math/rand"
+
+	"teco/internal/kernels"
 )
 
 // LayerStack is the real N-layer transformer proxy: the single-head
@@ -18,9 +20,35 @@ import (
 // offload scheduler stages through the fast tier one layer at a time. The
 // backward pass is hand-derived and validated against finite differences
 // (layerstack_test.go).
+//
+// All dense products route through the internal/kernels blocked primitives;
+// residual sums are computed into a zeroed temp and folded with one final
+// addition, so every FP32 result keeps the original naive loop's rounding
+// chain bit for bit. Like the other proxies a LayerStack owns scratch
+// storage and is not safe for concurrent use.
 type LayerStack struct {
 	Vocab, Dim, Classes, Layers int
 	Params                      []float32
+
+	sc *stackScratch
+}
+
+// stackScratch is the per-instance reusable storage: a bump arena Reset at
+// the top of every forward pass plus the activation trace re-carved from it.
+type stackScratch struct {
+	arena kernels.Arena
+	st    stackState
+}
+
+func (m *LayerStack) scratch() *stackScratch {
+	if m.sc == nil {
+		m.sc = &stackScratch{}
+	}
+	if cap(m.sc.st.blocks) < m.Layers {
+		m.sc.st.blocks = make([]stackBlockState, m.Layers)
+	}
+	m.sc.st.blocks = m.sc.st.blocks[:m.Layers]
+	return m.sc
 }
 
 // NewLayerStack builds an n-layer stack with scaled random initialization.
@@ -147,9 +175,12 @@ func itoa(n int) string {
 }
 
 // stackBlockState keeps one block's forward activations for backward.
+// Matrices are arena row views; the *F slices are flat row-major backings
+// for the row-dot kernels.
 type stackBlockState struct {
 	xin     [][]float32 // T x D input to the block
 	q, k, v [][]float32 // T x D projections
+	kF, vF  []float32   // flat backings of k, v
 	attn    [][]float32 // T x T softmax rows
 	xa      [][]float32 // T x D xin + attention output (MLP sublayer input)
 	f       [][]float32 // T x D post-ReLU MLP hidden
@@ -164,13 +195,17 @@ type stackState struct {
 }
 
 // forward runs the stack on one token sequence, recording every block's
-// activations.
+// activations. It Resets the arena, so the trace (and any backward temps
+// carved after it) lives exactly until the next forward on this instance.
 func (m *LayerStack) forward(params []float32, tok []int) *stackState {
 	d := m.Dim
 	T := len(tok)
-	st := &stackState{blocks: make([]stackBlockState, m.Layers), pooled: make([]float32, d)}
+	sc := m.scratch()
+	sc.arena.Reset()
+	st := &sc.st
+	st.pooled = sc.arena.Alloc(d)
 	emb := m.emb(params)
-	x := matRows(T, d)
+	x := sc.arena.Rows(T, d)
 	for t, id := range tok {
 		copy(x[t], emb[id*d:(id+1)*d])
 	}
@@ -179,65 +214,49 @@ func (m *LayerStack) forward(params []float32, tok []int) *stackState {
 		wq, wk, wv, wf1, wf2 := m.block(params, l)
 		bs := &st.blocks[l]
 		bs.xin = x
-		bs.q, bs.k, bs.v = matRows(T, d), matRows(T, d), matRows(T, d)
-		bs.attn = matRows(T, T)
-		bs.xa, bs.f = matRows(T, d), matRows(T, d)
-		proj := func(dst [][]float32, w []float32) {
-			for t := 0; t < T; t++ {
-				for j := 0; j < d; j++ {
-					var s float32
-					for i := 0; i < d; i++ {
-						s += x[t][i] * w[i*d+j]
-					}
-					dst[t][j] = s
-				}
-			}
+		_, bs.q = sc.arena.RowsFlat(T, d)
+		bs.kF, bs.k = sc.arena.RowsFlat(T, d)
+		bs.vF, bs.v = sc.arena.RowsFlat(T, d)
+		bs.attn = sc.arena.Rows(T, T)
+		bs.xa = sc.arena.Rows(T, d)
+		bs.f = sc.arena.Rows(T, d)
+		for t := 0; t < T; t++ {
+			kernels.AddMatVec(bs.q[t], x[t], wq, d, d)
+			kernels.AddMatVec(bs.k[t], x[t], wk, d, d)
+			kernels.AddMatVec(bs.v[t], x[t], wv, d, d)
 		}
-		proj(bs.q, wq)
-		proj(bs.k, wk)
-		proj(bs.v, wv)
 		for t := 0; t < T; t++ {
 			row := bs.attn[t]
+			kernels.DotRowsInto(row, bs.q[t], bs.kF, T, d)
 			for u := 0; u < T; u++ {
-				var s float32
-				for i := 0; i < d; i++ {
-					s += bs.q[t][i] * bs.k[u][i]
-				}
-				row[u] = s * scale
+				row[u] *= scale
 			}
-			copy(row, softmax(row))
+			softmaxInto(row, row)
 		}
-		// Residual 1: xa = xin + attn(xin).
+		// Residual 1: xa = xin + attn(xin). The A·V product accumulates in
+		// the zeroed xa row first, then the residual folds in with one
+		// addition per element — the same chain as the naive s-then-add.
 		for t := 0; t < T; t++ {
+			kernels.AddMatVec(bs.xa[t], bs.attn[t], bs.vF, T, d)
 			for j := 0; j < d; j++ {
-				var s float32
-				for u := 0; u < T; u++ {
-					s += bs.attn[t][u] * bs.v[u][j]
-				}
-				bs.xa[t][j] = x[t][j] + s
+				bs.xa[t][j] = x[t][j] + bs.xa[t][j]
 			}
 		}
 		// MLP sublayer: f = ReLU(xa Wf1), residual 2: xout = xa + f Wf2.
 		for t := 0; t < T; t++ {
+			kernels.AddMatVec(bs.f[t], bs.xa[t], wf1, d, d)
+			row := bs.f[t]
 			for j := 0; j < d; j++ {
-				var s float32
-				for i := 0; i < d; i++ {
-					s += bs.xa[t][i] * wf1[i*d+j]
+				if row[j] < 0 {
+					row[j] = 0
 				}
-				if s < 0 {
-					s = 0
-				}
-				bs.f[t][j] = s
 			}
 		}
-		next := matRows(T, d)
+		_, next := sc.arena.RowsFlat(T, d)
 		for t := 0; t < T; t++ {
+			kernels.AddMatVec(next[t], bs.f[t], wf2, d, d)
 			for j := 0; j < d; j++ {
-				var s float32
-				for i := 0; i < d; i++ {
-					s += bs.f[t][i] * wf2[i*d+j]
-				}
-				next[t][j] = bs.xa[t][j] + s
+				next[t][j] = bs.xa[t][j] + next[t][j]
 			}
 		}
 		x = next
@@ -249,47 +268,37 @@ func (m *LayerStack) forward(params []float32, tok []int) *stackState {
 			st.pooled[j] += x[t][j] / float32(T)
 		}
 	}
-	logits := make([]float32, m.Classes)
-	for c := 0; c < m.Classes; c++ {
-		s := bo[c]
-		for j := 0; j < d; j++ {
-			s += st.pooled[j] * wo[j*m.Classes+c]
-		}
-		logits[c] = s
-	}
-	st.probs = softmax(logits)
+	logits := sc.arena.Alloc(m.Classes)
+	kernels.MatVecInto(logits, bo, st.pooled, wo, d, m.Classes)
+	st.probs = softmaxInto(sc.arena.Alloc(m.Classes), logits)
 	return st
 }
 
-// Forward returns class probabilities for one example.
+// Forward returns class probabilities for one example. The returned slice
+// aliases the model's scratch arena and is valid until the next call on
+// this instance.
 func (m *LayerStack) Forward(params []float32, tok []int) []float32 {
 	return m.forward(params, tok).probs
 }
 
 // backBlock backpropagates one block: dX is the gradient at the block's
 // output; the return value is the gradient at its input. Weight gradients
-// accumulate into grads.
+// accumulate into grads. Temps are carved from the scratch arena (valid
+// until the next forward).
 func (m *LayerStack) backBlock(params, grads []float32, l int, bs *stackBlockState, dX [][]float32) [][]float32 {
 	d := m.Dim
 	T := len(dX)
 	wq, wk, wv, wf1, wf2 := m.block(params, l)
 	gwq, gwk, gwv, gwf1, gwf2 := m.block(grads, l)
 	scale := float32(1 / math.Sqrt(float64(d)))
+	arena := &m.sc.arena
 
 	// Residual 2: xout = xa + f Wf2 — dX reaches both xa and the MLP path.
-	dXa := matRows(T, d)
-	dF := matRows(T, d)
+	dXa := arena.Rows(T, d)
+	dF := arena.Rows(T, d)
 	for t := 0; t < T; t++ {
 		copy(dXa[t], dX[t])
-		for i := 0; i < d; i++ {
-			fti := bs.f[t][i]
-			var acc float32
-			for j := 0; j < d; j++ {
-				gwf2[i*d+j] += fti * dX[t][j]
-				acc += dX[t][j] * wf2[i*d+j]
-			}
-			dF[t][i] = acc
-		}
+		kernels.BackProjSet(gwf2, dF[t], bs.f[t], dX[t], wf2, d, d)
 	}
 	// ReLU gate, then f = xa Wf1.
 	for t := 0; t < T; t++ {
@@ -300,67 +309,46 @@ func (m *LayerStack) backBlock(params, grads []float32, l int, bs *stackBlockSta
 		}
 	}
 	for t := 0; t < T; t++ {
-		for i := 0; i < d; i++ {
-			xti := bs.xa[t][i]
-			var acc float32
-			for j := 0; j < d; j++ {
-				gwf1[i*d+j] += xti * dF[t][j]
-				acc += dF[t][j] * wf1[i*d+j]
-			}
-			dXa[t][i] += acc
-		}
+		kernels.BackProjAdd(gwf1, dXa[t], bs.xa[t], dF[t], wf1, d, d)
 	}
 
 	// Residual 1: xa = xin + A V — dXa reaches both xin and attention.
-	dXin := matRows(T, d)
+	dXin := arena.Rows(T, d)
 	for t := 0; t < T; t++ {
 		copy(dXin[t], dXa[t])
 	}
-	dA := matRows(T, T)
-	dV := matRows(T, d)
+	dA := arena.Rows(T, T)
+	dV := arena.Rows(T, d)
 	for t := 0; t < T; t++ {
+		kernels.DotRowsInto(dA[t], dXa[t], bs.vF, T, d)
 		for u := 0; u < T; u++ {
-			var s float32
-			for j := 0; j < d; j++ {
-				s += dXa[t][j] * bs.v[u][j]
-				dV[u][j] += bs.attn[t][u] * dXa[t][j]
-			}
-			dA[t][u] = s
+			kernels.Axpy(dV[u], bs.attn[t][u], dXa[t])
 		}
 	}
 	// Softmax backward per row, then Q/K.
-	dQ := matRows(T, d)
-	dK := matRows(T, d)
+	dQ := arena.Rows(T, d)
+	dK := arena.Rows(T, d)
 	for t := 0; t < T; t++ {
 		var dot float32
 		for u := 0; u < T; u++ {
 			dot += dA[t][u] * bs.attn[t][u]
 		}
 		for u := 0; u < T; u++ {
-			ds := bs.attn[t][u] * (dA[t][u] - dot) * scale
-			for i := 0; i < d; i++ {
-				dQ[t][i] += ds * bs.k[u][i]
-				dK[u][i] += ds * bs.q[t][i]
-			}
+			dsc := bs.attn[t][u] * (dA[t][u] - dot) * scale
+			kernels.Axpy(dQ[t], dsc, bs.k[u])
+			kernels.Axpy(dK[u], dsc, bs.q[t])
 		}
 	}
 	// Projections: P = X W  =>  dW += X^T dP, dX += dP W^T.
-	backProj := func(dP [][]float32, w, gw []float32) {
+	for _, bp := range [3]struct {
+		dP [][]float32
+		w  []float32
+		gw []float32
+	}{{dQ, wq, gwq}, {dK, wk, gwk}, {dV, wv, gwv}} {
 		for t := 0; t < T; t++ {
-			for i := 0; i < d; i++ {
-				xti := bs.xin[t][i]
-				var acc float32
-				for j := 0; j < d; j++ {
-					gw[i*d+j] += xti * dP[t][j]
-					acc += dP[t][j] * w[i*d+j]
-				}
-				dXin[t][i] += acc
-			}
+			kernels.BackProjAdd(bp.gw, dXin[t], bs.xin[t], bp.dP[t], bp.w, d, d)
 		}
 	}
-	backProj(dQ, wq, gwq)
-	backProj(dK, wk, gwk)
-	backProj(dV, wv, gwv)
 	return dXin
 }
 
@@ -382,6 +370,7 @@ func (m *LayerStack) LossAndGrad(params []float32, ds *Dataset, batch []int, gra
 		y := ds.TrainY[idx]
 		T := len(tok)
 		st := m.forward(params, tok)
+		arena := &m.sc.arena
 		p := float64(st.probs[y])
 		if p < 1e-12 {
 			p = 1e-12
@@ -389,20 +378,19 @@ func (m *LayerStack) LossAndGrad(params []float32, ds *Dataset, batch []int, gra
 		loss += -math.Log(p)
 
 		// Classifier backward.
-		dPooled := make([]float32, d)
+		dz := arena.Alloc(m.Classes)
 		for c := 0; c < m.Classes; c++ {
-			dz := st.probs[c] * inv
+			dzc := st.probs[c] * inv
 			if c == y {
-				dz -= inv
+				dzc -= inv
 			}
-			gbo[c] += dz
-			for j := 0; j < d; j++ {
-				gwo[j*m.Classes+c] += st.pooled[j] * dz
-				dPooled[j] += wo[j*m.Classes+c] * dz
-			}
+			dz[c] = dzc
+			gbo[c] += dzc
 		}
+		dPooled := arena.Alloc(d)
+		kernels.BackProjSet(gwo, dPooled, st.pooled, dz, wo, d, m.Classes)
 		// Mean pool backward.
-		dX := matRows(T, d)
+		dX := arena.Rows(T, d)
 		for t := 0; t < T; t++ {
 			for j := 0; j < d; j++ {
 				dX[t][j] = dPooled[j] / float32(T)

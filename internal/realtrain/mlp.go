@@ -3,6 +3,8 @@ package realtrain
 import (
 	"math"
 	"math/rand"
+
+	"teco/internal/kernels"
 )
 
 // MLP is an embedding + two-layer softmax classifier with a flat parameter
@@ -120,39 +122,25 @@ func (m *MLP) Forward(params []float32, tok []int) []float32 {
 	return probs
 }
 
-// forwardHidden runs the forward pass with both dense layers iterated
-// row-major (outer loop over the weight matrix's contiguous rows). Each
-// accumulator still receives its additions in the original index order —
-// h[j] over ascending d, z[c] over ascending j — so the FP32 results are
-// bit-identical to the naive column-major loops, just without the
-// Hidden-strided (resp. Classes-strided) weight walks.
+// forwardHidden runs the forward pass with both dense layers on the shared
+// blocked kernels (internal/kernels). Each accumulator still receives its
+// additions in the original index order — h[j] over ascending d, z[c] over
+// ascending j — so the FP32 results are bit-identical to the naive
+// column-major loops, just without the Hidden-strided (resp.
+// Classes-strided) weight walks.
 func (m *MLP) forwardHidden(params []float32, tok []int) (probs, hidden, x []float32) {
 	_, w1, b1, w2, b2 := m.views(params)
 	sc := m.scratch()
 	x = m.embed(params, tok, sc.x)
 	h := sc.h
-	copy(h, b1)
-	for d := 0; d < m.Dim; d++ {
-		xd := x[d]
-		row := w1[d*m.Hidden : (d+1)*m.Hidden]
-		for j, w := range row {
-			h[j] += xd * w
-		}
-	}
+	kernels.MatVecInto(h, b1, x, w1, m.Dim, m.Hidden)
 	for j, s := range h {
 		if s < 0 {
 			h[j] = 0
 		}
 	}
 	z := sc.z
-	copy(z, b2)
-	for j := 0; j < m.Hidden; j++ {
-		hj := h[j]
-		row := w2[j*m.Classes : (j+1)*m.Classes]
-		for c, w := range row {
-			z[c] += hj * w
-		}
-	}
+	kernels.MatVecInto(z, b2, h, w2, m.Hidden, m.Classes)
 	return softmaxInto(sc.probs, z), h, x
 }
 
@@ -207,19 +195,10 @@ func (m *MLP) LossAndGrad(params []float32, ds *Dataset, batch []int, grads []fl
 			dz[c] = probs[c] * inv
 		}
 		dz[y] -= inv
-		// W2, b2 gradients and hidden backprop (contiguous W2 rows).
+		// W2, b2 gradients and hidden backprop via the fused backward
+		// kernel (rank-1 gw2 update + ascending-c dh chain per row).
 		dh := sc.dh
-		for j := 0; j < m.Hidden; j++ {
-			hj := h[j]
-			gw2row := gw2[j*m.Classes : (j+1)*m.Classes]
-			w2row := w2[j*m.Classes : (j+1)*m.Classes]
-			var s float32
-			for c, dzc := range dz {
-				gw2row[c] += hj * dzc
-				s += w2row[c] * dzc
-			}
-			dh[j] = s
-		}
+		kernels.BackProjSet(gw2, dh, h, dz, w2, m.Hidden, m.Classes)
 		for c := 0; c < m.Classes; c++ {
 			gb2[c] += dz[c]
 		}

@@ -250,6 +250,8 @@ type Trainer struct {
 
 	step    int
 	samples []StepSample
+	batch   []int         // reusable minibatch index buffer
+	fs      *fusedScratch // per-chunk slots for the fused ADAM epilogue
 
 	// gradFn, when set, replaces the local forward/backward: the
 	// data-parallel fabric group installs its sharded tape pipeline here.
@@ -311,10 +313,13 @@ func Pretrain(cfg Config) (*PreState, error) {
 		return nil, err
 	}
 	for s := 0; s < t.cfg.PreSteps; s++ {
-		batch := t.ds.Batch(t.rng, t.cfg.Batch)
-		t.model.LossAndGrad(t.master, t.ds, batch, t.grads)
-		optim.ClipGlobalNorm(t.grads, t.cfg.ClipNorm)
-		if err := pre.Step(t.master, t.grads); err != nil {
+		t.batch = t.ds.BatchInto(t.rng, t.batch, t.cfg.Batch)
+		t.model.LossAndGrad(t.master, t.ds, t.batch, t.grads)
+		// Deferred clip: the scale folds into the fused ADAM pass, saving
+		// one full gradient walk per pre-training step (bit-identical —
+		// see optim.ClipScale).
+		_, scale := optim.ClipScale(t.grads, t.cfg.ClipNorm)
+		if err := pre.StepFused(t.master, t.grads, scale, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -448,7 +453,25 @@ func (t *Trainer) verifySums() error {
 	am, av := t.ad.Moments()
 	// The four CRC passes run concurrently; the reported tensor is always
 	// the first mismatch in the fixed order below, independent of which
-	// goroutine finishes first.
+	// goroutine finishes first. The serial path is fully separate — it
+	// must not share locals with the closures below, whose captures would
+	// force a heap allocation on every call of the trainer's zero-alloc
+	// steady-state step.
+	if parallel.HotResolve(t.cfg.Workers) <= 1 {
+		if checkpoint.Checksum(t.master) != t.masterSum {
+			return &CorruptionError{Tensor: "master", Index: -1}
+		}
+		if checkpoint.Checksum(t.compute) != t.computeSum {
+			return &CorruptionError{Tensor: "compute", Index: -1}
+		}
+		if checkpoint.Checksum(am) != t.adamMSum {
+			return &CorruptionError{Tensor: "adam.m", Index: -1}
+		}
+		if checkpoint.Checksum(av) != t.adamVSum {
+			return &CorruptionError{Tensor: "adam.v", Index: -1}
+		}
+		return nil
+	}
 	var ok [4]bool
 	parallel.Do(t.cfg.Workers,
 		func() { ok[0] = checkpoint.Checksum(t.master) == t.masterSum },
@@ -512,7 +535,8 @@ func (t *Trainer) Step() error {
 		})
 		fwdParams = t.fp16View
 	}
-	batch := t.ds.Batch(t.rng, t.cfg.Batch)
+	batch := t.ds.BatchInto(t.rng, t.batch, t.cfg.Batch)
+	t.batch = batch
 	var loss float64
 	if t.gradFn != nil {
 		var err error
@@ -522,15 +546,34 @@ func (t *Trainer) Step() error {
 	} else {
 		loss = t.model.LossAndGrad(fwdParams, t.ds, batch, t.grads)
 	}
-	// Gradients cross GPU->CPU in full FP32 (no DBA for grads).
-	optim.ClipGlobalNorm(t.grads, t.cfg.ClipNorm)
-	if err := t.ad.Step(t.master, t.grads); err != nil {
+	// Gradients cross GPU->CPU in full FP32 (no DBA for grads). The clip's
+	// norm reduction runs first (it needs every gradient); the scaling
+	// itself is deferred into the fused ADAM pass.
+	_, clipScale := optim.ClipScale(t.grads, t.cfg.ClipNorm)
+	// Fused ADAM pass: one traversal of master/grads/moments applies the
+	// clip scale and the ADAM update, then per chunk the epilogue runs the
+	// post-step tensor walks that used to be standalone passes — the
+	// NaN/Inf guard, the master and moment CRC chunks, the sampled
+	// byte-change distributions, and the previous-value copies. Per-chunk
+	// partials are combined after the pass in chunk order (exact folds),
+	// so every result is bit-identical to the unfused sequence at any
+	// worker count. The previous-value copies land before any corruption
+	// error is returned below; that is unobservable — a corruption step's
+	// trainer is discarded for a checkpoint restore, never stepped on.
+	sdc := t.cfg.SDCChecks
+	fs := t.fused(len(t.master))
+	fs.sdc = sdc
+	fs.sample = s%t.cfg.SampleEvery == 0 || s == t.cfg.Steps-1
+	fs.am, fs.av = t.ad.Moments()
+	if err := t.ad.StepFused(t.master, t.grads, clipScale, fs.epi); err != nil {
 		return err
 	}
 	// Guard: a NaN produced by ADAM on corrupted bytes must trigger
-	// rollback, not poison the master copy for the rest of the run.
-	if t.cfg.SDCChecks {
-		if i := optim.FirstNonFiniteWorkers(t.master, t.cfg.Workers); i >= 0 {
+	// rollback, not poison the master copy for the rest of the run. The
+	// fold walks chunks in ascending order, so the reported index is the
+	// serial scan's first hit.
+	if sdc {
+		if i := fs.firstNonFinite(); i >= 0 {
 			return &CorruptionError{Tensor: "master", Index: i, NonFinite: true}
 		}
 	}
@@ -564,23 +607,38 @@ func (t *Trainer) Step() error {
 		}
 	}
 
-	if s%t.cfg.SampleEvery == 0 || s == t.cfg.Steps-1 {
-		sample := StepSample{Step: s, Loss: loss, DBAActive: active}
-		// The two scans walk independent tensor pairs; run them side by
-		// side, each internally chunked, all combines exact.
-		parallel.Do(t.cfg.Workers,
-			func() { sample.ParamDist = dba.ScanChanged(t.prevMaster, t.master, t.cfg.Workers) },
-			func() { sample.GradDist = dba.ScanChanged(t.prevGrads, t.grads, t.cfg.Workers) })
-		t.samples = append(t.samples, sample)
+	if fs.sample {
+		// The distributions were gathered inside the fused pass (before
+		// the previous-value copies clobbered their baselines); folding
+		// per-chunk counts in chunk order is dba.ScanChanged's combine.
+		t.samples = append(t.samples, StepSample{
+			Step: s, Loss: loss, DBAActive: active,
+			ParamDist: foldDist(fs.pDist),
+			GradDist:  foldDist(fs.gDist),
+		})
 	}
-	copy(t.prevMaster, t.master)
-	copy(t.prevGrads, t.grads)
 	t.step++
-	t.recordSums()
+	t.recordSumsFused(fs)
 	if check.Enabled() {
 		t.checkStep(active)
 	}
 	return nil
+}
+
+// recordSumsFused refreshes the per-tensor checksums at the end of a fused
+// step: master and moment CRCs fold from the chunks the fused epilogue
+// already computed (no extra tensor walk); only the compute copy — written
+// by the merge after the fused pass — needs a fresh CRC. Each fold is
+// bit-identical to checkpoint.Checksum over the whole tensor.
+func (t *Trainer) recordSumsFused(fs *fusedScratch) {
+	if !t.cfg.SDCChecks {
+		return
+	}
+	t.masterSum = fs.foldCRC(fs.crcMaster)
+	t.adamMSum = fs.foldCRC(fs.crcM)
+	t.adamVSum = fs.foldCRC(fs.crcV)
+	t.computeSum = checkpoint.ChecksumWorkers(t.compute, t.cfg.Workers)
+	t.sumsValid = true
 }
 
 // checkStep asserts the trainer's per-step invariants under the conformance

@@ -1,0 +1,87 @@
+package realtrain
+
+import (
+	"testing"
+)
+
+// benchTrainer builds a fine-tune-ready trainer for the per-step
+// benchmarks: tiny pre-phase, effectively unbounded step budget, SDC
+// guards on (the production session posture, and the configuration the
+// fused ADAM epilogue exists for).
+func benchTrainer(tb testing.TB, arch string, workers int) *Trainer {
+	tb.Helper()
+	t, err := NewTrainer(Config{
+		Steps:    1 << 30,
+		Batch:    32,
+		Seed:     42,
+		PreSteps: 1,
+		Arch:     arch,
+		DBA:      true,
+		// SampleEvery pushed out of the measurement window so the
+		// occasional samples-slice append does not blur the steady-state
+		// allocation count.
+		SampleEvery: 1 << 29,
+		SDCChecks:   true,
+		Workers:     workers,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+// TestTrainStepSteadyStateAllocs pins the tentpole's allocation contract:
+// after warm-up, a fine-tuning step allocates nothing — every model
+// scratch buffer comes from the kernels.Arena, the minibatch buffer is
+// reused, and the fused ADAM epilogue writes into preallocated per-chunk
+// slots. A regression here silently re-introduces per-step GC pressure,
+// so the bound is exact (0 allocs/step), per architecture.
+func TestTrainStepSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model per architecture")
+	}
+	for _, arch := range []string{"mlp", "attention", "stack"} {
+		t.Run(arch, func(t *testing.T) {
+			tr := benchTrainer(t, arch, 1)
+			// Warm-up: let arenas, scratch and the batch buffer reach
+			// their steady-state capacities.
+			for i := 0; i < 3; i++ {
+				if err := tr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := tr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Step allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkTrainStep measures one full fine-tuning step (guard verify,
+// forward/backward, fused clip+ADAM+scan pass, DBA merge, checksum
+// refresh) per architecture — the end-to-end number the perf gate
+// ratchets.
+func BenchmarkTrainStep(b *testing.B) {
+	for _, arch := range []string{"mlp", "attention", "stack"} {
+		b.Run(arch, func(b *testing.B) {
+			tr := benchTrainer(b, arch, 1)
+			for i := 0; i < 3; i++ {
+				if err := tr.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tr.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
