@@ -85,6 +85,8 @@ experiments:
 	$(GO) run ./cmd/tecosim -markdown fabric-faults
 	$(GO) run ./cmd/tecosim -markdown layers
 	$(GO) run ./cmd/tecosim -markdown layers-policy
+	$(GO) run ./cmd/tecosim -markdown tiering
+	$(GO) run ./cmd/tecosim -markdown tiering-policy
 
 # Re-pin the conformance goldens: regenerate every paper-figure table at
 # the canonical seed into internal/conformance/testdata/golden, the render
@@ -95,11 +97,11 @@ golden:
 	$(GO) test ./internal/conformance -run 'TestGolden$$|TestRenderGolden|TestFuzzCorpus' -update
 	$(GO) test ./internal/conformance
 
-# Coverage with a floor: the suite currently sits around 85% of statements;
+# Coverage with a floor: the suite currently sits at ~85% of statements;
 # the gate fails below COVER_FLOOR so coverage can only be spent down
 # deliberately (raise the floor when it rises). Writes cover.out (published
 # as a CI artifact).
-COVER_FLOOR ?= 82.0
+COVER_FLOOR ?= 83.0
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
 	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub(/%/,"",$$NF); print $$NF}'); \

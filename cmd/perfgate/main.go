@@ -13,6 +13,9 @@
 //     the stream gate gets 25%, or
 //   - the prefetch-scheduled layered step (internal/layerbench, the
 //     BenchmarkLayerOverlap workload) regressed more than the threshold,
+//   - the tiering migration plan epoch (internal/tierbench, the
+//     BenchmarkTieringMigration workload) regressed more than the
+//     threshold,
 //   - a real fine-tuning step (internal/trainbench: blocked kernels, fused
 //     clip+ADAM+scan pass, SDC guards on) regressed more than the threshold
 //     on any architecture, or
@@ -35,6 +38,7 @@ import (
 	"teco/internal/diskcache"
 	"teco/internal/layerbench"
 	"teco/internal/streambench"
+	"teco/internal/tierbench"
 	"teco/internal/trainbench"
 )
 
@@ -57,6 +61,11 @@ type baseline struct {
 	// predates the layer gate; perfgate then measures and reports but does
 	// not fail (run -update to arm it).
 	LayerOverlapNsPerOp int64 `json:"layer_overlap_ns_per_op"`
+	// TieringMigrationNsPerOp is one plan epoch of the tierbench workload
+	// (BenchmarkTieringMigration). Zero means the baseline predates the
+	// tiering gate; perfgate then measures and reports but does not fail
+	// (run -update to arm it).
+	TieringMigrationNsPerOp int64 `json:"tiering_migration_ns_per_op"`
 	// TrainStepNsPerOp maps proxy architecture -> ns per serial fine-tuning
 	// step with SDC guards on (internal/trainbench). Nil/empty means the
 	// baseline predates the train-step gate; perfgate then measures and
@@ -91,6 +100,10 @@ func main() {
 	fmt.Printf("layer-overlap step (GPT-2, cache %d%%, best of %d):\n", layerbench.CachePct, *repeat)
 	fmt.Printf("  scheduled %10d ns/op  %d allocs/op\n", overlap.NsPerOp, overlap.AllocsPerOp)
 
+	migration := tierbench.Best(*repeat)
+	fmt.Printf("tiering migration epoch (GPT-2, fast tier %d%%, best of %d):\n", tierbench.CapacityPct, *repeat)
+	fmt.Printf("  planned   %10d ns/op  %d allocs/op\n", migration.NsPerOp, migration.AllocsPerOp)
+
 	trainStep := make(map[string]int64, len(trainArchs))
 	trainAllocs := make(map[string]float64, len(trainArchs))
 	fmt.Printf("train step (serial, SDC guards on, best of %d):\n", *repeat)
@@ -107,12 +120,13 @@ func main() {
 
 	if *update {
 		b := baseline{
-			RunLines:            streambench.RunLines,
-			PerLineNsPerOp:      perLine.NsPerOp,
-			CoalescedNsPerOp:    coalesced.NsPerOp,
-			WarmCacheP99Ns:      warmP99,
-			LayerOverlapNsPerOp: overlap.NsPerOp,
-			TrainStepNsPerOp:    trainStep,
+			RunLines:                streambench.RunLines,
+			PerLineNsPerOp:          perLine.NsPerOp,
+			CoalescedNsPerOp:        coalesced.NsPerOp,
+			WarmCacheP99Ns:          warmP99,
+			LayerOverlapNsPerOp:     overlap.NsPerOp,
+			TieringMigrationNsPerOp: migration.NsPerOp,
+			TrainStepNsPerOp:        trainStep,
 		}
 		buf, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -172,6 +186,11 @@ func main() {
 		check("layer-overlap", overlap.NsPerOp, base.LayerOverlapNsPerOp)
 	} else {
 		fmt.Println("  -- layer-overlap: no baseline recorded; measuring only (run -update to arm the gate)")
+	}
+	if base.TieringMigrationNsPerOp > 0 {
+		check("tiering-migration", migration.NsPerOp, base.TieringMigrationNsPerOp)
+	} else {
+		fmt.Println("  -- tiering-migration: no baseline recorded; measuring only (run -update to arm the gate)")
 	}
 	for _, arch := range trainArchs {
 		if want, ok := base.TrainStepNsPerOp[arch]; ok && want > 0 {

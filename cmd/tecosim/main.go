@@ -38,6 +38,9 @@ func main() {
 	prefetch := flag.Int("prefetch", 0, "prefetch look-ahead depth in layers for the layers sweeps (0: defaults)")
 	layerPolicy := flag.String("layer-policy", "", "eviction policy for the layers-policy sweep: lru, fifo, pin (empty: full set)")
 	layerSeqLen := flag.Int("layer-seq-len", 0, "long-context sequence length for the layers-policy sweep (0: default 1024)")
+	tierPolicy := flag.String("tier-policy", "", "placement policy for the tiering sweeps: heat, lru, static (empty: defaults)")
+	tierDRAMPct := flag.Int("tier-dram-pct", 0, "fast-tier size for the tiering sweeps, percent of tiered slot bytes (0: defaults)")
+	tierMigrateBudget := flag.Int("tier-migrate-budget", 0, "per-step migration budget in MiB for the tiering sweeps (0: defaults)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS, 1: serial); tables are identical at every setting")
 	noMemo := flag.Bool("no-memo", false, "disable shared-run memoization across experiments (slower, identical output)")
 	coalesce := flag.Bool("coalesce", true, "flow-coalescing fast path for the stream simulator; false runs the bit-identical per-line reference path (slow)")
@@ -69,25 +72,28 @@ func main() {
 		os.Exit(1)
 	}
 	tabs, err := experiments.ByIDWith(flag.Arg(0), experiments.Options{
-		Seed:          *seed,
-		BER:           *ber,
-		RetryBudget:   *retryBudget,
-		Degrade:       *degrade,
-		CkptInterval:  *ckptInterval,
-		CkptDir:       *ckptDir,
-		CrashAt:       *crashAt,
-		Replicas:      *replicas,
-		HostPorts:     *hostPorts,
-		KillPort:      *killPort,
-		KillStep:      *killStep,
-		Layers:        *layers,
-		CachePct:      *cachePct,
-		PrefetchDepth: *prefetch,
-		LayerPolicy:   *layerPolicy,
-		LayerSeqLen:   *layerSeqLen,
-		Workers:       *workers,
-		NoMemo:        *noMemo,
-		PerLine:       !*coalesce,
+		Seed:              *seed,
+		BER:               *ber,
+		RetryBudget:       *retryBudget,
+		Degrade:           *degrade,
+		CkptInterval:      *ckptInterval,
+		CkptDir:           *ckptDir,
+		CrashAt:           *crashAt,
+		Replicas:          *replicas,
+		HostPorts:         *hostPorts,
+		KillPort:          *killPort,
+		KillStep:          *killStep,
+		Layers:            *layers,
+		CachePct:          *cachePct,
+		PrefetchDepth:     *prefetch,
+		LayerPolicy:       *layerPolicy,
+		LayerSeqLen:       *layerSeqLen,
+		TierPolicy:        *tierPolicy,
+		TierDRAMPct:       *tierDRAMPct,
+		TierMigrateBudget: *tierMigrateBudget,
+		Workers:           *workers,
+		NoMemo:            *noMemo,
+		PerLine:           !*coalesce,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,226 @@
+package prop
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"teco/internal/conformance/check"
+	"teco/internal/core"
+	"teco/internal/realtrain"
+)
+
+// tierCase is one drawn heterogeneous-tiering configuration: stack depth,
+// fast-tier percentage, placement policy, migration budget, and the crash
+// step. With the stack dataset the largest slot is the embedding's
+// optimizer state (131072 words × 8 bytes ≈ 62% of the tiered total at 2
+// blocks), so drawn percentages start at 70 to keep every case feasible.
+type tierCase struct {
+	seed     int64
+	layers   int    // transformer block count (stack arch)
+	dramPct  int    // fast-tier capacity, percent of tiered slot bytes
+	policy   string // placement policy
+	budget   int    // per-step migration budget in FP32 words (0 = static)
+	workers  int    // trainer parallelism knob
+	dirty    int    // DBA dirty_bytes hyperparameter
+	interval int    // checkpoint interval (steps)
+	crashAt  int    // step the crash/restore relation kills the run at
+}
+
+func (c tierCase) String() string {
+	return fmt.Sprintf("seed=%d layers=%d dram=%d%% policy=%s budget=%d workers=%d dirty=%d interval=%d crash=%d",
+		c.seed, c.layers, c.dramPct, c.policy, c.budget, c.workers, c.dirty, c.interval, c.crashAt)
+}
+
+// drawTiering generates the deterministic tiering case table. A distinct
+// stream constant keeps it decorrelated from the other draws.
+func drawTiering(n int) []tierCase {
+	rng := rand.New(rand.NewSource(propSeed + 3))
+	policies := []string{"heat", "lru", "static"}
+	pcts := []int{70, 80, 90}
+	budgets := []int{0, 50000, 500000}
+	cases := make([]tierCase, n)
+	for i := range cases {
+		cases[i] = tierCase{
+			seed:     rng.Int63n(1 << 30),
+			layers:   2 + rng.Intn(3), // 2..4 blocks
+			dramPct:  pcts[rng.Intn(len(pcts))],
+			policy:   policies[rng.Intn(len(policies))],
+			budget:   budgets[rng.Intn(len(budgets))],
+			workers:  2 + rng.Intn(6),
+			dirty:    1 + rng.Intn(3),
+			interval: []int{2, 3, 5}[rng.Intn(3)],
+			crashAt:  2 + rng.Intn(5),
+		}
+	}
+	return cases
+}
+
+// trainConfig is the stack fine-tune sized for the harness; the tiering
+// knobs stay zero here and are grafted on per relation.
+func (c tierCase) trainConfig() realtrain.Config {
+	return realtrain.Config{
+		Arch: "stack", Layers: c.layers,
+		Steps: layerTrainSteps, PreSteps: 12, Batch: 8, Seed: c.seed,
+		DBA: true, ActAfterSteps: 3, DirtyBytes: c.dirty, SampleEvery: 2,
+		SDCChecks: true,
+	}
+}
+
+// tiered grafts the drawn tiering knobs onto a config.
+func (c tierCase) tiered(cfg realtrain.Config) realtrain.Config {
+	cfg.TierDRAMPct = c.dramPct
+	cfg.TierPolicy = c.policy
+	cfg.TierMigrateWords = c.budget
+	return cfg
+}
+
+// normalizeTiering strips the knobs excluded from the determinism contract —
+// Workers, the offload-scheduling knobs, and the tiering knobs (placement
+// moves bytes between tiers, never changes them) — before whole-result
+// comparison.
+func normalizeTiering(r realtrain.Result) realtrain.Result {
+	r = normalizeLayers(r)
+	r.Config.TierDRAMPct = 0
+	r.Config.TierPolicy = ""
+	r.Config.TierMigrateWords = 0
+	return r
+}
+
+// runTiered steps a trainer by hand so the placement stats are observable
+// alongside the result.
+func runTiered(t *testing.T, cfg realtrain.Config) (realtrain.Result, *realtrain.Trainer) {
+	t.Helper()
+	tr, err := realtrain.NewTrainer(cfg)
+	if err != nil {
+		t.Fatalf("trainer (%+v): %v", cfg, err)
+	}
+	for !tr.Done() {
+		if err := tr.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	return tr.Result(), tr
+}
+
+// TestMetamorphicTiering pushes every drawn tiering configuration through
+// the hot/cold-migration metamorphic relations; it rides the same
+// PROP_CASES budget (and -race CI job) as TestMetamorphic.
+func TestMetamorphicTiering(t *testing.T) {
+	check.Enable(t)
+	for i, c := range drawTiering(caseCount(t)) {
+		c := c
+		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
+			t.Parallel()
+			check.Enable(t)
+			t.Log(c.String())
+
+			ref := realtrain.Run(c.trainConfig())
+
+			// Relation 1: a fast tier that holds every slot is the all-fast
+			// baseline — the tiered run is bit-identical to the plain trainer
+			// and the controller plans no migrations.
+			allFits := c.tiered(c.trainConfig())
+			allFits.TierDRAMPct = 0 // 0 = everything fits; policy keeps the controller engaged
+			if allFits.TierPolicy == "" {
+				allFits.TierPolicy = "heat"
+			}
+			got, tr := runTiered(t, allFits)
+			if !reflect.DeepEqual(normalizeTiering(got), normalizeTiering(ref)) {
+				t.Errorf("all-fits tiering != plain trainer:\n tiered: %+v\n plain:  %+v",
+					normalizeTiering(got), normalizeTiering(ref))
+			}
+			if st, ok := tr.TierStats(); !ok || st.Migrations != 0 || st.FarAccesses != 0 {
+				t.Errorf("all-fits run shows tier traffic: %+v (ok=%v)", st, ok)
+			}
+
+			// Relation 2: the trained result is invariant across fast-tier
+			// size, policy, migration budget, and worker count.
+			for _, workers := range []int{1, c.workers} {
+				cfg := c.tiered(c.trainConfig())
+				cfg.Workers = workers
+				if got := realtrain.Run(cfg); !reflect.DeepEqual(normalizeTiering(got), normalizeTiering(ref)) {
+					t.Errorf("tiered run (workers=%d) != plain trainer:\n tiered: %+v\n plain:  %+v",
+						workers, normalizeTiering(got), normalizeTiering(ref))
+				}
+			}
+
+			// Relation 3: a zero migration budget freezes the first-fit
+			// placement, so any policy's accounting equals the static
+			// policy's exactly.
+			frozen := c.tiered(c.trainConfig())
+			frozen.TierMigrateWords = 0
+			_, ftr := runTiered(t, frozen)
+			static := frozen
+			static.TierPolicy = "static"
+			_, str := runTiered(t, static)
+			fst, _ := ftr.TierStats()
+			sst, _ := str.TierStats()
+			if !reflect.DeepEqual(fst, sst) {
+				t.Errorf("zero-budget %q != static placement:\n %+v\n %+v", c.policy, fst, sst)
+			}
+			if fst.Migrations != 0 {
+				t.Errorf("zero budget migrated: %+v", fst)
+			}
+
+			// Relation 4 (chaos arm): crash + restore mid-run — with the
+			// controller migrating between steps — lands bit-identically on
+			// the uninterrupted plain run.
+			scfg := core.SessionConfig{
+				Train: c.tiered(c.trainConfig()), Dir: t.TempDir(), Interval: c.interval,
+			}
+			crashed, _, err := core.CrashRun(scfg, c.crashAt)
+			if err != nil {
+				t.Fatalf("crash run (%s): %v", c, err)
+			}
+			if !reflect.DeepEqual(normalizeTiering(crashed), normalizeTiering(ref)) {
+				t.Errorf("crash at %d + restore != uninterrupted:\n crashed: %+v\n direct:  %+v",
+					c.crashAt, normalizeTiering(crashed), normalizeTiering(ref))
+			}
+		})
+	}
+}
+
+// TestMetamorphicTieringChaos is the fault-injected arm: a run with SDC
+// events on the link, killed and restored mid-run while migrations are in
+// flight, still equals its own uninterrupted execution bit for bit — the
+// tiering bookkeeping neither absorbs nor amplifies link corruption.
+func TestMetamorphicTieringChaos(t *testing.T) {
+	check.Enable(t)
+	for i, c := range drawTiering(caseCount(t)) {
+		c := c
+		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
+			t.Parallel()
+			check.Enable(t)
+			t.Log(c.String())
+
+			cfg := c.tiered(c.trainConfig())
+			if cfg.TierMigrateWords == 0 {
+				cfg.TierMigrateWords = 500000 // keep migrations in flight at the kill
+			}
+			plan := core.SDCPlan{Seed: c.seed + 7, Rate: 0.25}
+
+			scfg := core.SessionConfig{
+				Train: cfg, Dir: t.TempDir(), Interval: c.interval, SDC: plan,
+			}
+			crashed, _, err := core.CrashRun(scfg, c.crashAt)
+			if err != nil {
+				t.Fatalf("chaos crash run (%s): %v", c, err)
+			}
+			// The SDC plan perturbs the session run; equality must hold
+			// against the session's own uninterrupted execution, which an
+			// unkilled session (crash step past the run) provides.
+			uncrashed, _, err := core.CrashRun(core.SessionConfig{
+				Train: cfg, Dir: t.TempDir(), Interval: c.interval, SDC: plan,
+			}, 0)
+			if err != nil {
+				t.Fatalf("chaos reference run (%s): %v", c, err)
+			}
+			if !reflect.DeepEqual(normalizeTiering(crashed), normalizeTiering(uncrashed)) {
+				t.Errorf("chaos crash at %d + restore != uninterrupted chaos run:\n crashed: %+v\n direct:  %+v",
+					c.crashAt, normalizeTiering(crashed), normalizeTiering(uncrashed))
+			}
+		})
+	}
+}

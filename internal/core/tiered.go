@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"teco/internal/conformance/check"
+	"teco/internal/cxl"
+	"teco/internal/mem"
+	"teco/internal/modelzoo"
+	"teco/internal/phases"
+	"teco/internal/sim"
+	"teco/internal/tiering"
+)
+
+// Heterogeneous-memory tiering for the timing engine — the timing half of
+// the controller whose functional half lives in realtrain (both share
+// tiering.Controller over staging.Residency, so slot placement has one
+// definition on both sides of the house equality).
+//
+// RunTiered runs Steps ordinary TECO steps (compute + coherence planes,
+// untouched) and adds a TIERING plane on top: host-side model state lives
+// in two tiers — local DDR4 (fast) and DRAM behind a CXL.mem expander
+// (far). Each layer contributes a parameter slot (touched by forward,
+// backward and the update pass) and, in OptSlots mode, an optimizer-state
+// slot of twice the bytes (FP32 ADAM moments m+v) touched only by the
+// update — a ~6× per-byte heat-density skew that makes placement matter.
+// A far-tier touch streams the slot over the CXL link and exposes its
+// latency in the breakdown (forward/backward parameter touches extend Prm,
+// update-pass touches extend Adam); a fast-tier touch costs nothing extra
+// (local DDR is already priced inside the compute phases). Migrations
+// planned from the recorded heat are pushed on the same links at step
+// start, so they queue ahead of — compete with — the step's own demand
+// traffic, bounded per step by the migration budget.
+//
+// When every slot fits fast (DRAMBytes 0) the tiering plane moves no bytes
+// and adds no time: RunTiered degrades to a sum of plain Steps
+// bit-identically, with only the TierStats hit counters recording that the
+// walk happened (asserted by tiered_test.go). A zero migration budget
+// likewise freezes the initial placement regardless of policy.
+
+// DefaultTierSteps is the step count RunTiered aggregates when
+// TierConfig.Steps is zero: enough for heat to separate and migration to
+// converge, small enough to keep the sweeps fast.
+const DefaultTierSteps = 4
+
+// TierConfig parameterizes one tiered run.
+type TierConfig struct {
+	// Layers overrides the model's layer count (0 keeps the model's own).
+	Layers int
+	// DRAMBytes is the fast-tier capacity; 0 means the whole model fits
+	// fast (the all-resident baseline). A bounded capacity must hold the
+	// largest single slot.
+	DRAMBytes int64
+	// Policy is the placement rank: "" or "heat", "lru", "static".
+	Policy string
+	// MigrateBudget is the per-step migration byte budget — the admission
+	// throttle; 0 disables migration (static first-fit placement).
+	MigrateBudget int64
+	// Steps is the number of training steps to aggregate (0 =
+	// DefaultTierSteps).
+	Steps int
+	// OptSlots schedules optimizer-state slots (2× parameter bytes, the
+	// FP32 m+v moments) separately from parameters.
+	OptSlots bool
+}
+
+// TierTrace is the recorded access trace and final placement of a tiered
+// run — the input the oracle placement and the policy ablation's cost
+// accounting consume.
+type TierTrace struct {
+	Sizes     []int64
+	Heat      []int64
+	Fast      []bool
+	FastBytes int64
+}
+
+// tierSlotBytes builds the slot sizes: per-layer parameter slots,
+// interleaved with 2× optimizer-state slots in OptSlots mode
+// (param k = slot 2k, opt k = slot 2k+1).
+func tierSlotBytes(m modelzoo.Model, optSlots bool) []int64 {
+	params := layerSlotBytes(m)
+	if !optSlots {
+		return params
+	}
+	sizes := make([]int64, 0, 2*len(params))
+	for _, p := range params {
+		sizes = append(sizes, p, 2*p)
+	}
+	return sizes
+}
+
+// tieredPlane is the tiering plane of one tiered run: the placement
+// controller plus the promote/demote links and per-slot arrival times.
+type tieredPlane struct {
+	ctl    *tiering.Controller
+	fetch  *cxl.Link
+	wb     *cxl.Link
+	fetchS *cxl.Stream
+	wbS    *cxl.Stream
+	arrive []sim.Time // per-slot promotion completion (0: none in flight)
+	wire   int
+
+	stats phases.TierStats
+}
+
+// migrate prices this step's planned migrations as background stream
+// traffic at t: promotions stream far→fast on the fetch link — ahead of
+// the step's demand fetches, competing for the same bandwidth — and
+// demotions stream fast→far on the writeback link.
+func (p *tieredPlane) migrate(ms []tiering.Migration, t sim.Time) {
+	for _, mg := range ms {
+		if mg.Promote {
+			fr := p.fetchS.PushRun(t, int(mg.Bytes), mem.LinesIn(mg.Bytes), 0, p.wire, false)
+			p.arrive[mg.Slot] = fr.Done
+			p.stats.PromotedBytes += mg.Bytes
+		} else {
+			p.wbS.PushRun(t, int(mg.Bytes), mem.LinesIn(mg.Bytes), 0, p.wire, false)
+			p.arrive[mg.Slot] = 0
+			p.stats.DemotedBytes += mg.Bytes
+		}
+		p.stats.Migrations++
+	}
+}
+
+// touch walks one demand access to slot k at cursor t and returns the
+// exposed stall: zero on a settled fast hit, the full stream time on a far
+// access, and only the residual wait when a still-arriving promotion races
+// the access.
+func (p *tieredPlane) touch(k int, t sim.Time) sim.Time {
+	if !p.ctl.Touch(k) {
+		sz := p.ctl.Size(k)
+		fr := p.fetchS.PushRun(t, int(sz), mem.LinesIn(sz), 0, p.wire, false)
+		p.stats.FarAccesses++
+		p.stats.FarFetchBytes += sz
+		return fr.Done - t
+	}
+	p.stats.FastHits++
+	if done := p.arrive[k]; done != 0 {
+		p.arrive[k] = 0
+		if done > t {
+			return done - t
+		}
+	}
+	return 0
+}
+
+// addStep accumulates one step's result into a run aggregate: every
+// additive field sums, Degraded ORs.
+func addStep(a, s phases.StepResult) phases.StepResult {
+	a.Variant = s.Variant
+	a.Fwd += s.Fwd
+	a.Bwd += s.Bwd
+	a.Grad += s.Grad
+	a.Clip += s.Clip
+	a.Adam += s.Adam
+	a.Prm += s.Prm
+	a.ParamLinkBytes += s.ParamLinkBytes
+	a.GradLinkBytes += s.GradLinkBytes
+	a.Fault.Retries += s.Fault.Retries
+	a.Fault.ReplayedBytes += s.Fault.ReplayedBytes
+	a.Fault.Poisoned += s.Fault.Poisoned
+	a.Fault.Recovered += s.Fault.Recovered
+	a.Fault.Stalls += s.Fault.Stalls
+	a.Fault.StallTime += s.Fault.StallTime
+	a.Fault.Exposed += s.Fault.Exposed
+	a.Fault.Degraded = a.Fault.Degraded || s.Fault.Degraded
+	return a
+}
+
+// RunTiered simulates tc.Steps training steps under heterogeneous-memory
+// tiering and returns the aggregated result plus the recorded trace.
+func (e *Engine) RunTiered(m modelzoo.Model, batch int, tc TierConfig) (phases.StepResult, TierTrace, error) {
+	if e.Config.Invalidation {
+		return phases.StepResult{}, TierTrace{}, fmt.Errorf("core: tiering requires the update protocol")
+	}
+	if tc.Layers < 0 || tc.DRAMBytes < 0 || tc.MigrateBudget < 0 || tc.Steps < 0 {
+		return phases.StepResult{}, TierTrace{}, fmt.Errorf("core: negative tier config %+v", tc)
+	}
+	if tc.Layers > 0 {
+		m.Layers = tc.Layers
+	}
+	policy, err := tiering.ParsePolicy(tc.Policy)
+	if err != nil {
+		return phases.StepResult{}, TierTrace{}, err
+	}
+	steps := tc.Steps
+	if steps == 0 {
+		steps = DefaultTierSteps
+	}
+	sizes := tierSlotBytes(m, tc.OptSlots)
+	ctl, err := tiering.New(tiering.Config{
+		Sizes:       sizes,
+		FastBytes:   tc.DRAMBytes,
+		Policy:      policy,
+		BudgetBytes: tc.MigrateBudget,
+	})
+	if err != nil {
+		return phases.StepResult{}, TierTrace{}, err
+	}
+
+	// Tiering plane: its own engine and link pair, like the staging plane —
+	// tier migration shares no queue with the coherence streams.
+	eng := sim.New()
+	p := &tieredPlane{
+		ctl:    ctl,
+		fetch:  cxl.NewLink(eng, e.LinkBandwidth, e.QueueCap),
+		wb:     cxl.NewLink(eng, e.LinkBandwidth, e.QueueCap),
+		arrive: make([]sim.Time, len(sizes)),
+		wire:   cxl.WirePacketBytes(0),
+	}
+	p.fetchS = cxl.NewStream(p.fetch, e.Config.PerLine)
+	p.wbS = cxl.NewStream(p.wb, e.Config.PerLine)
+	p.stats.Slots = int64(len(sizes))
+	p.stats.FastBytes = ctl.Capacity()
+
+	pslot := func(k int) int {
+		if tc.OptSlots {
+			return 2 * k
+		}
+		return k
+	}
+
+	var agg phases.StepResult
+	var cursor sim.Time
+	n := sim.Time(int64(m.Layers))
+	last := m.Layers - 1
+	for s := 0; s < steps; s++ {
+		// Compute + coherence planes: the ordinary TECO step, untouched.
+		out := e.Step(m, batch)
+
+		// Migrations planned from the heat recorded so far, excluding the
+		// slot of the layer about to execute, priced at step start.
+		p.migrate(ctl.PlanStep(pslot(0)), cursor)
+
+		var farStall, adamStall sim.Time
+		stepStart := cursor
+
+		// Forward walk: layer k touches its parameter slot over its
+		// telescoped share of the forward time.
+		for k := 0; k <= last; k++ {
+			farStall += p.touch(pslot(k), cursor)
+			cursor += out.Fwd*sim.Time(int64(k)+1)/n - out.Fwd*sim.Time(int64(k))/n
+		}
+		// Backward walk in reverse.
+		for k := last; k >= 0; k-- {
+			farStall += p.touch(pslot(k), cursor)
+			i := sim.Time(int64(last - k))
+			cursor += out.Bwd*(i+1)/n - out.Bwd*i/n
+		}
+		cursor += out.Grad
+		// Update pass: the CPU reads/writes master parameters and, in
+		// OptSlots mode, the ADAM moments, over the clip+ADAM window.
+		upd := out.Clip + out.Adam
+		for k := 0; k <= last; k++ {
+			adamStall += p.touch(pslot(k), cursor)
+			if tc.OptSlots {
+				adamStall += p.touch(2*k+1, cursor)
+			}
+			cursor += upd*sim.Time(int64(k)+1)/n - upd*sim.Time(int64(k))/n
+		}
+
+		out.Prm += farStall
+		out.Adam += adamStall
+		p.stats.FarStall += farStall
+		p.stats.AdamStall += adamStall
+		p.stats.Steps++
+		// The next step starts after this one's full critical path.
+		cursor = stepStart + out.Total()
+
+		if check.Enabled() {
+			check.Check(out.Check, ctl.CheckInvariants)
+		}
+		agg = addStep(agg, out)
+	}
+	// Demotion writebacks still in flight at run end are off the critical
+	// path (the fast-tier copy was authoritative until the stream fenced).
+	p.wb.Fence(cursor)
+
+	st := ctl.Stats()
+	p.stats.ResidentBytes = st.ResidentBytes
+	p.stats.Deferred = st.Deferred
+	agg.Tier = p.stats
+
+	trace := TierTrace{
+		Sizes:     sizes,
+		Heat:      ctl.Heat(),
+		Fast:      ctl.Placement(),
+		FastBytes: ctl.Capacity(),
+	}
+	if check.Enabled() {
+		check.Check(agg.Check, ctl.CheckInvariants)
+	}
+	return agg, trace, nil
+}

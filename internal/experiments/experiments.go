@@ -542,6 +542,8 @@ func AllWith(opt Options) []*Table {
 		func() []*Table { return []*Table{FabricFaultSweep(opt)} },
 		func() []*Table { return []*Table{LayersSweep(opt)} },
 		func() []*Table { return []*Table{LayersPolicySweep(opt)} },
+		func() []*Table { return []*Table{TieringSweep(opt)} },
+		func() []*Table { return []*Table{TieringPolicySweep(opt)} },
 	}
 	var out []*Table
 	for _, tabs := range grid(opt, len(gens), func(i int) []*Table { return gens[i]() }) {
@@ -589,6 +591,16 @@ func ByIDWith(id string, opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		return []*Table{LayersPolicySweep(opt)}, nil
+	case "tiering":
+		if err := opt.validateTiering(); err != nil {
+			return nil, err
+		}
+		return []*Table{TieringSweep(opt)}, nil
+	case "tiering-policy":
+		if err := opt.validateTiering(); err != nil {
+			return nil, err
+		}
+		return []*Table{TieringPolicySweep(opt)}, nil
 	case "table1":
 		return []*Table{TableIWith(opt)}, nil
 	case "fig2", "fig2a", "fig2b":
@@ -636,5 +648,6 @@ func IDs() []string {
 	return []string{"table1", "fig2", "ablation-inval", "fig11", "table5", "fig10",
 		"fig12", "volume", "table6", "fig13", "table7", "table8", "lammps",
 		"tune-act", "ablation-dpu", "time-to-loss", "linkspeed", "faults",
-		"recovery", "fabric", "fabric-faults", "layers", "layers-policy", "all"}
+		"recovery", "fabric", "fabric-faults", "layers", "layers-policy",
+		"tiering", "tiering-policy", "all"}
 }

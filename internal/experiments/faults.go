@@ -66,6 +66,18 @@ type Options struct {
 	// LayerSeqLen overrides the policy sweep's long-context sequence
 	// length (0: default 1024).
 	LayerSeqLen int
+	// TierPolicy collapses the tiering-policy ablation's policy axis to one
+	// of "heat", "lru", "static" ("": full set) and sets the capacity
+	// sweep's migrating runs' policy ("": heat).
+	TierPolicy string
+	// TierDRAMPct collapses the tiering sweep's fast-tier-size axis to one
+	// percentage of the tiered slot bytes (0: default grid; also the policy
+	// ablation's capacity, default 25).
+	TierDRAMPct int
+	// TierMigrateBudget collapses the tiering sweep's per-step migration
+	// byte-budget axis to one MiB value (0: default grid; also the policy
+	// ablation's budget, default 512).
+	TierMigrateBudget int
 	// NoMemo disables the shared-run memoization (runcache.go), forcing
 	// every requested fine-tuning run to execute from scratch. The tables
 	// do not change; only wall-clock does. The benchmark harness uses it

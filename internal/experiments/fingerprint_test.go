@@ -37,6 +37,9 @@ func TestFingerprintResultSensitivity(t *testing.T) {
 		"degrade":       {Seed: 42, Degrade: true},
 		"ckpt-interval": {Seed: 42, CkptInterval: 25},
 		"crash-at":      {Seed: 42, CrashAt: 10},
+		"tier-policy":   {Seed: 42, TierPolicy: "lru"},
+		"tier-dram":     {Seed: 42, TierDRAMPct: 25},
+		"tier-budget":   {Seed: 42, TierMigrateBudget: 64},
 	}
 	for name, opt := range distinct {
 		fp := opt.Fingerprint("faults")

@@ -1,0 +1,72 @@
+package mem_test
+
+import (
+	"strings"
+	"testing"
+
+	"teco/internal/mem"
+)
+
+// TestBARSizeFor: smallest power-of-two cover with the 1 MiB resizable-BAR
+// floor, exact at powers of two, doubling just past them.
+func TestBARSizeFor(t *testing.T) {
+	const MiB = 1 << 20
+	for _, tc := range []struct{ bytes, want int64 }{
+		{0, MiB},
+		{1, MiB},
+		{MiB, MiB},
+		{MiB + 1, 2 * MiB},
+		{2 * MiB, 2 * MiB},
+		{3 * MiB, 4 * MiB},
+		{1 << 30, 1 << 30},
+		{1<<30 + 1, 1 << 31},
+	} {
+		if got := mem.BARSizeFor(tc.bytes); got != tc.want {
+			t.Errorf("BARSizeFor(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+// TestConfigureGiantCacheBAR: the happy path rounds the request up to the
+// BAR size and allocates a giant-cache region of exactly that size.
+func TestConfigureGiantCacheBAR(t *testing.T) {
+	m := mem.NewMap()
+	r, err := m.ConfigureGiantCacheBAR("giant", 3<<20, 16<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 4<<20 {
+		t.Fatalf("region of %d bytes, want the 4MiB BAR", r.Bytes)
+	}
+	if got := m.GiantCacheBytes(); got != 4<<20 {
+		t.Fatalf("giant cache %d bytes, want %d", got, 4<<20)
+	}
+}
+
+// TestConfigureGiantCacheBARErrors: non-positive requests and BARs that
+// (with the reserve) exceed device memory are errors, not allocations.
+func TestConfigureGiantCacheBARErrors(t *testing.T) {
+	m := mem.NewMap()
+	if _, err := m.ConfigureGiantCacheBAR("giant", 0, 16<<20, 0); err == nil {
+		t.Fatal("zero-byte giant cache accepted")
+	}
+	if _, err := m.ConfigureGiantCacheBAR("giant", -5, 16<<20, 0); err == nil {
+		t.Fatal("negative giant cache accepted")
+	}
+	// 3MiB request → 4MiB BAR; 4MiB + 1MiB reserve > 4MiB device memory.
+	_, err := m.ConfigureGiantCacheBAR("giant", 3<<20, 4<<20, 1<<20)
+	if err == nil {
+		t.Fatal("BAR past device memory accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds device memory") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The failed attempts must not have allocated anything.
+	if got := m.GiantCacheBytes(); got != 0 {
+		t.Fatalf("failed configuration leaked %d bytes into the map", got)
+	}
+	// The BAR size itself fitting exactly (no reserve) is fine.
+	if _, err := m.ConfigureGiantCacheBAR("giant", 3<<20, 4<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+}

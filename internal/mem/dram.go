@@ -61,3 +61,13 @@ func V100HBM2() *DRAM {
 func HostDDR4() *DRAM {
 	return &DRAM{Name: "host-DDR4", BytesPerSecond: 128e9, AccessLatency: 90 * sim.Nanosecond}
 }
+
+// CXLExpander returns the far-memory tier model: DRAM behind a CXL.mem
+// expander. Sustained bandwidth is bounded by the CXL link itself — PCIe3
+// x16 raw 16 GB/s at the paper's measured 94.3% protocol efficiency, the
+// same constant modelzoo.CXLLinkBandwidth encodes (pinned equal by test) —
+// and the access latency carries the ~2× far-memory penalty CXL.mem round
+// trips add over local DDR (Pond/CXLRAMSim-class numbers).
+func CXLExpander() *DRAM {
+	return &DRAM{Name: "cxl-expander", BytesPerSecond: 16e9 * 0.943, AccessLatency: 180 * sim.Nanosecond}
+}

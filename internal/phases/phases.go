@@ -211,6 +211,46 @@ func (l LayerStats) Any() bool {
 		l.FetchBytes != 0 || l.WritebackBytes != 0
 }
 
+// TierStats summarizes heterogeneous-memory tiering during one step or an
+// aggregated tiered run: how slot accesses split across the fast DRAM tier
+// and the CXL-expander far tier, and what the online hot/cold migration
+// moved (zero when the run had no tiering controller).
+type TierStats struct {
+	// Slots is the tiered slot count (parameter and, when scheduled
+	// separately, optimizer-state slots); Steps is the number of training
+	// steps aggregated into these counters.
+	Slots int64
+	Steps int64
+	// FastBytes is the fast-tier (host DRAM) capacity; ResidentBytes is
+	// what it held when the run finished.
+	FastBytes     int64
+	ResidentBytes int64
+	// FastHits / FarAccesses classify demand slot accesses by the tier
+	// that served them; FarFetchBytes is the far-tier demand traffic
+	// streamed over the CXL link.
+	FastHits      int64
+	FarAccesses   int64
+	FarFetchBytes int64
+	// Migrations / PromotedBytes / DemotedBytes count planned hot/cold
+	// moves between the tiers; Deferred counts promotions the per-step
+	// migration budget (the admission throttle) pushed to a later step.
+	Migrations    int64
+	PromotedBytes int64
+	DemotedBytes  int64
+	Deferred      int64
+	// FarStall is far-access latency exposed on forward/backward parameter
+	// touches (it extends Prm); AdamStall is the update-phase exposure on
+	// master parameters and optimizer moments (it extends Adam).
+	FarStall  sim.Time
+	AdamStall sim.Time
+}
+
+// Any reports whether any tiering activity was recorded.
+func (t TierStats) Any() bool {
+	return t.Slots != 0 || t.FastHits != 0 || t.FarAccesses != 0 ||
+		t.Migrations != 0 || t.FarFetchBytes != 0
+}
+
 // RecoveryStats summarizes checkpoint/restore activity above the link
 // layer: how often the run checkpointed, how many silent-data-corruption
 // events were detected, and what rolling back and replaying cost. The
@@ -278,6 +318,9 @@ type StepResult struct {
 	// Layer is the per-layer offload-scheduling accounting (zero when the
 	// step ran whole-model).
 	Layer LayerStats
+	// Tier is the heterogeneous-memory tiering accounting (zero when
+	// placement was static whole-model).
+	Tier TierStats
 }
 
 // TotalLinkBytes returns combined link volume.
@@ -356,6 +399,29 @@ func (r StepResult) Check() error {
 	}
 	if l.PrefetchIssued == 0 && (l.PrefetchHits != 0 || l.PrefetchStall != 0) {
 		return fmt.Errorf("phases: prefetch results without issued prefetches %+v", l)
+	}
+	t := r.Tier
+	if t.Slots < 0 || t.Steps < 0 || t.FastBytes < 0 || t.ResidentBytes < 0 ||
+		t.FastHits < 0 || t.FarAccesses < 0 || t.FarFetchBytes < 0 ||
+		t.Migrations < 0 || t.PromotedBytes < 0 || t.DemotedBytes < 0 || t.Deferred < 0 {
+		return fmt.Errorf("phases: negative tier counter %+v", t)
+	}
+	if t.FarStall < 0 || t.AdamStall < 0 {
+		return fmt.Errorf("phases: negative tier stall (%v %v)", t.FarStall, t.AdamStall)
+	}
+	if t.FastBytes > 0 && t.ResidentBytes > t.FastBytes {
+		return fmt.Errorf("phases: %d tier resident bytes exceed %d fast-tier capacity", t.ResidentBytes, t.FastBytes)
+	}
+	if t.Migrations == 0 && (t.PromotedBytes != 0 || t.DemotedBytes != 0) {
+		return fmt.Errorf("phases: migrated bytes without migrations %+v", t)
+	}
+	if t.FarAccesses == 0 && t.FarFetchBytes != 0 {
+		return fmt.Errorf("phases: far-tier fetch bytes without far accesses %+v", t)
+	}
+	// A stall needs a cause: either a demand far access or a migration
+	// whose arrival an access raced (the residual wait).
+	if t.FarAccesses == 0 && t.Migrations == 0 && (t.FarStall != 0 || t.AdamStall != 0) {
+		return fmt.Errorf("phases: tier stall without far accesses or migrations %+v", t)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"teco/internal/optim"
 	"teco/internal/parallel"
 	"teco/internal/tensor"
+	"teco/internal/tiering"
 )
 
 // Config controls a fine-tuning run.
@@ -59,6 +60,17 @@ type Config struct {
 	SchedPrefetch   int    // eager-prefetch depth in layers; 0 = demand-only
 	SchedPolicy     string // eviction policy: "" or "lru", "fifo", "pin"
 	SchedPinned     int    // pinned hot-layer count (policy "pin")
+	// Heterogeneous-memory tiering knobs. Setting any of them attaches a
+	// tiering.Controller that replays each step's slot accesses (parameter
+	// and optimizer-state slots per segment) against a DRAM/CXL placement
+	// and plans budget-throttled hot/cold migrations. Pure bookkeeping —
+	// placement never touches the numerics, so the trained model is
+	// bit-identical at every setting (asserted by the metamorphic suite)
+	// and all three are excluded from the config fingerprint like the
+	// scheduling knobs above.
+	TierDRAMPct      int    // fast-tier capacity as % of tiered slot bytes; 0 = everything fits
+	TierPolicy       string // placement policy: "" or "heat", "lru", "static"
+	TierMigrateWords int    // per-step migration budget in FP32 words; 0 = static placement
 	// SDCChecks enables the silent-data-corruption guards: per-tensor
 	// checksums validated at every step boundary and after each DBA
 	// merge, and a NaN/Inf scan of the master parameters after each ADAM
@@ -133,6 +145,9 @@ func (c Config) configTag() uint64 {
 	cc.SchedPrefetch = 0
 	cc.SchedPolicy = ""
 	cc.SchedPinned = 0
+	cc.TierDRAMPct = 0
+	cc.TierPolicy = ""
+	cc.TierMigrateWords = 0
 	fmt.Fprintf(h, "%+v", cc)
 	return h.Sum64()
 }
@@ -239,7 +254,8 @@ type Trainer struct {
 	rng   *rand.Rand
 	ad    *optim.Adam
 	ctrl  *dba.Controller
-	sched *OffloadScheduler // nil unless an offload-scheduling knob is set
+	sched *OffloadScheduler   // nil unless an offload-scheduling knob is set
+	tier  *tiering.Controller // nil unless a tiering knob is set
 
 	master     []float32 // CPU master copy (aliases the model's params)
 	compute    []float32 // accelerator copy (fwd/bwd uses this)
@@ -373,6 +389,12 @@ func newTrainerShell(cfg Config) (*Trainer, error) {
 			return nil, err
 		}
 	}
+	var tier *tiering.Controller
+	if cfg.tierEnabled() {
+		if tier, err = newTierController(m, cfg); err != nil {
+			return nil, err
+		}
+	}
 	return &Trainer{
 		cfg:        cfg,
 		ds:         ds,
@@ -382,6 +404,7 @@ func newTrainerShell(cfg Config) (*Trainer, error) {
 		ad:         ad,
 		ctrl:       dba.NewController(cfg.ActAfterSteps, cfg.DirtyBytes),
 		sched:      sched,
+		tier:       tier,
 		master:     m.Parameters(),
 		compute:    make([]float32, n),
 		grads:      make([]float32, n),
@@ -616,6 +639,13 @@ func (t *Trainer) Step() error {
 			ParamDist: foldDist(fs.pDist),
 			GradDist:  foldDist(fs.gDist),
 		})
+	}
+	// Tiering bookkeeping: replay the step's slot accesses against the
+	// placement controller and plan this step's migrations. Placement never
+	// feeds back into the numerics above — any tiering config trains
+	// bit-identically to the static baseline.
+	if t.tier != nil {
+		t.tierWalk()
 	}
 	t.step++
 	t.recordSumsFused(fs)

@@ -44,6 +44,7 @@ import (
 	"teco/internal/fabric"
 	"teco/internal/parallel"
 	"teco/internal/staging"
+	"teco/internal/tiering"
 )
 
 // payloadSchema versions the cached payload encoding (the JSON table
@@ -106,6 +107,12 @@ type Stats struct {
 	// hits, misses, prefetch overlap, and eviction churn from both
 	// scheduler halves (realtrain and core.StepLayered).
 	Layers staging.LayerCounters `json:"layers"`
+
+	// Tiering is the process-wide heterogeneous-tiering telemetry:
+	// fast/far demand accesses, plan rounds, migrations and the byte flow
+	// between the tiers, from both controller halves (realtrain and
+	// core.RunTiered).
+	Tiering tiering.TierCounters `json:"tiering"`
 }
 
 // Server is one sweep-service instance. Create with New, expose via
@@ -208,6 +215,7 @@ func (s *Server) Stats() Stats {
 		Cache:     s.cache.Stats(),
 		Fabric:    fabric.Counters(),
 		Layers:    staging.Counters(),
+		Tiering:   tiering.Counters(),
 	}
 }
 
@@ -270,6 +278,11 @@ type Request struct {
 	PrefetchDepth int    `json:"prefetch,omitempty"`
 	LayerPolicy   string `json:"layer_policy,omitempty"`
 	LayerSeqLen   int    `json:"layer_seq_len,omitempty"`
+	// Heterogeneous-tiering knobs, mirroring tecosim's -tier-policy/
+	// -tier-dram-pct/-tier-migrate-budget flags.
+	TierPolicy        string `json:"tier_policy,omitempty"`
+	TierDRAMPct       int    `json:"tier_dram_pct,omitempty"`
+	TierMigrateBudget int    `json:"tier_migrate_budget,omitempty"`
 	// TimeoutMs overrides the server's default per-request deadline,
 	// capped at Config.MaxTimeout.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -279,22 +292,25 @@ type Request struct {
 // (Workers, Ctx) are the server's own and never reach the fingerprint.
 func (s *Server) options(req Request) experiments.Options {
 	return experiments.Options{
-		Seed:          req.Seed,
-		BER:           req.BER,
-		RetryBudget:   req.RetryBudget,
-		Degrade:       req.Degrade,
-		CkptInterval:  req.CkptInterval,
-		CrashAt:       req.CrashAt,
-		Replicas:      req.Replicas,
-		HostPorts:     req.HostPorts,
-		KillPort:      req.KillPort,
-		KillStep:      req.KillStep,
-		Layers:        req.Layers,
-		CachePct:      req.CachePct,
-		PrefetchDepth: req.PrefetchDepth,
-		LayerPolicy:   req.LayerPolicy,
-		LayerSeqLen:   req.LayerSeqLen,
-		Workers:       s.cfg.Workers,
+		Seed:              req.Seed,
+		BER:               req.BER,
+		RetryBudget:       req.RetryBudget,
+		Degrade:           req.Degrade,
+		CkptInterval:      req.CkptInterval,
+		CrashAt:           req.CrashAt,
+		Replicas:          req.Replicas,
+		HostPorts:         req.HostPorts,
+		KillPort:          req.KillPort,
+		KillStep:          req.KillStep,
+		Layers:            req.Layers,
+		CachePct:          req.CachePct,
+		PrefetchDepth:     req.PrefetchDepth,
+		LayerPolicy:       req.LayerPolicy,
+		LayerSeqLen:       req.LayerSeqLen,
+		TierPolicy:        req.TierPolicy,
+		TierDRAMPct:       req.TierDRAMPct,
+		TierMigrateBudget: req.TierMigrateBudget,
+		Workers:           s.cfg.Workers,
 	}
 }
 
@@ -368,6 +384,7 @@ func parseRequest(r *http.Request) (Request, error) {
 	q := r.URL.Query()
 	req.ID = q.Get("id")
 	req.LayerPolicy = q.Get("layer_policy")
+	req.TierPolicy = q.Get("tier_policy")
 	var err error
 	num := func(name string, dst *int64) {
 		if v := q.Get(name); v != "" && err == nil {
@@ -383,6 +400,7 @@ func parseRequest(r *http.Request) (Request, error) {
 		"kill_port": &req.KillPort, "kill_step": &req.KillStep,
 		"layers": &req.Layers, "cache_pct": &req.CachePct,
 		"prefetch": &req.PrefetchDepth, "layer_seq_len": &req.LayerSeqLen,
+		"tier_dram_pct": &req.TierDRAMPct, "tier_migrate_budget": &req.TierMigrateBudget,
 	} {
 		i64 = 0
 		num(name, &i64)

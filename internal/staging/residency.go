@@ -203,6 +203,48 @@ func (r *Residency) Warm(i int) bool {
 	return true
 }
 
+// Touch records a demand access to slot i without changing residency — the
+// tiering controller's accessor. Under hot/cold migration, placement changes
+// only through planned migrations, never as a side effect of an access, but
+// accesses must still land in the same heat/hit/miss accounting the offload
+// scheduler uses. Returns whether the slot was resident (a fast-tier hit).
+func (r *Residency) Touch(i int) bool {
+	r.tick++
+	r.heat[i]++
+	// Recency is a property of the access, not of residency: a far slot's
+	// last use must advance too, or a recency-ranked migration policy could
+	// never see it as a promotion candidate. Eviction ordering among
+	// resident slots is unaffected.
+	r.lastUse[i] = r.tick
+	if r.resident[i] {
+		r.stats.Hits++
+		return true
+	}
+	r.stats.DemandMisses++
+	return false
+}
+
+// Evict explicitly demotes slot i out of the fast tier — the tiering
+// controller's migration primitive, distinct from policy-driven makeRoom
+// eviction. Pinned and non-resident slots refuse; returns whether the slot
+// was resident and is now demoted.
+func (r *Residency) Evict(i int) bool {
+	if i < r.pinned || !r.resident[i] {
+		return false
+	}
+	r.resident[i] = false
+	r.prefetched[i] = false
+	r.used -= r.sizes[i]
+	r.stats.Evictions++
+	r.stats.EvictedBytes += r.sizes[i]
+	recordEviction(r.sizes[i])
+	return true
+}
+
+// LastUse returns slot i's recency tick (the LRU victim key), for
+// recency-based placement policies layered on top of the tracker.
+func (r *Residency) LastUse(i int) int64 { return r.lastUse[i] }
+
 func (r *Residency) insert(i int) {
 	r.resident[i] = true
 	r.used += r.sizes[i]

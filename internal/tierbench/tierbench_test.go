@@ -1,0 +1,23 @@
+package tierbench
+
+import "testing"
+
+// BenchmarkTieringMigration is the hot/cold migration microbenchmark `make
+// bench` reports and cmd/perfgate gates against perf_baseline.json.
+func BenchmarkTieringMigration(b *testing.B) { Run(b) }
+
+// TestEpochMigrates pins the workload's premise: the alternating hot set
+// forces the planner to move bytes on every epoch, so the benchmark times
+// real migration planning rather than a converged no-op.
+func TestEpochMigrates(t *testing.T) {
+	ctl, err := newController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch(ctl, 0)
+	for p := 1; p <= 4; p++ {
+		if ms := epoch(ctl, p); len(ms) == 0 {
+			t.Fatalf("epoch %d planned no migrations — the benchmark would time an idle planner", p)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package tiering
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlacementCostSums: cost is the heat-weighted sum of per-tier access
+// times, so moving a slot fast reduces cost by exactly heat × benefit.
+func TestPlacementCostSums(t *testing.T) {
+	cm := DefaultCostModel()
+	sizes := []int64{1 << 20, 2 << 20}
+	heat := []int64{3, 5}
+	far := cm.PlacementCost(heat, []bool{false, false}, sizes)
+	mixed := cm.PlacementCost(heat, []bool{true, false}, sizes)
+	want := far - 3*(cm.AccessTime(false, sizes[0])-cm.AccessTime(true, sizes[0]))
+	if mixed != want {
+		t.Fatalf("mixed cost %v, want %v", mixed, want)
+	}
+	if all := cm.PlacementCost(heat, []bool{true, true}, sizes); all >= mixed {
+		t.Fatalf("all-fast cost %v not below mixed %v", all, mixed)
+	}
+}
+
+// TestOracleAllFits: capacity at or above the total (or unbounded) places
+// everything fast.
+func TestOracleAllFits(t *testing.T) {
+	cm := DefaultCostModel()
+	sizes := []int64{10, 20, 30}
+	heat := []int64{1, 1, 1}
+	for _, cap := range []int64{0, -1, 60, 100} {
+		for i, fast := range cm.OraclePlacement(heat, sizes, cap) {
+			if !fast {
+				t.Fatalf("capacity %d: slot %d not fast", cap, i)
+			}
+		}
+	}
+}
+
+// TestOraclePrefersHotDense: under pressure the oracle keeps the slots with
+// the highest heat-per-byte benefit and respects capacity exactly.
+func TestOraclePrefersHotDense(t *testing.T) {
+	cm := DefaultCostModel()
+	sizes := []int64{1 << 20, 1 << 20, 2 << 20}
+	heat := []int64{10, 1, 10} // slot 0 hottest per byte, slot 2 hot but big
+	fast := cm.OraclePlacement(heat, sizes, 3<<20)
+	if !fast[0] || fast[1] || !fast[2] {
+		t.Fatalf("placement %v, want hot slots 0 and 2", fast)
+	}
+	var used int64
+	for i, f := range fast {
+		if f {
+			used += sizes[i]
+		}
+	}
+	if used > 3<<20 {
+		t.Fatalf("oracle overfilled: %d", used)
+	}
+}
+
+// TestOracleDeterministic: equal inputs give identical placements — ties
+// break by index, never map order.
+func TestOracleDeterministic(t *testing.T) {
+	cm := DefaultCostModel()
+	sizes := []int64{50, 50, 50, 50}
+	heat := []int64{2, 2, 2, 2}
+	first := cm.OraclePlacement(heat, sizes, 100)
+	for i := 0; i < 50; i++ {
+		if got := cm.OraclePlacement(heat, sizes, 100); !reflect.DeepEqual(got, first) {
+			t.Fatalf("oracle not deterministic: %v vs %v", got, first)
+		}
+	}
+	if !first[0] || !first[1] || first[2] || first[3] {
+		t.Fatalf("equal-density tie not broken by index: %v", first)
+	}
+}
+
+// TestOracleRoundingRegression: GPT-2's remainder-carrying last slot is 8
+// bytes larger than its siblings; integer picosecond access times round
+// those to a higher per-byte density, which once promoted the big slot
+// first and fragmented the fill 2 bytes short of the optimal 9-slot pack.
+// The float density computation must keep same-rate slots ordered by size.
+func TestOracleRoundingRegression(t *testing.T) {
+	cm := DefaultCostModel()
+	var sizes, heat []int64
+	for i := 0; i < 12; i++ {
+		p := int64(40666666)
+		if i == 11 {
+			p = 40666674 // the remainder-carrying slot
+		}
+		sizes = append(sizes, p, 2*p)
+		heat = append(heat, 12, 4)
+	}
+	fast := cm.OraclePlacement(heat, sizes, 366000000)
+	var params int
+	for i := 0; i < len(fast); i += 2 {
+		if fast[i] {
+			params++
+		}
+		if fast[i+1] {
+			t.Fatalf("cold optimizer slot %d placed fast", i+1)
+		}
+	}
+	if params != 9 {
+		t.Fatalf("oracle packed %d parameter slots, want 9", params)
+	}
+}
